@@ -1,0 +1,88 @@
+// Command clicsim simulates a storage-server cache over a trace file and
+// reports the read hit ratio.
+//
+// Usage:
+//
+//	clicsim -trace traces/DB2_C60.trc -policy CLIC -cache 18000
+//	clicsim -trace traces/DB2_C60.trc -policy LRU,ARC,TQ,CLIC,OPT -cache 6000,12000,18000
+//	clicsim -trace traces/DB2_C60.trc -policy CLIC -cache 18000 -topk 100 -window 100000 -r 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		tracePath = flag.String("trace", "", "binary trace file (required)")
+		policies  = flag.String("policy", "CLIC", "comma-separated policies: "+strings.Join(sim.PolicyNames, ","))
+		caches    = flag.String("cache", "18000", "comma-separated server cache sizes in pages")
+		topk      = flag.Int("topk", 0, "CLIC: track only the k most frequent hint sets (0 = all)")
+		window    = flag.Int("window", 0, "CLIC: statistics window W (0 = default)")
+		decay     = flag.Float64("r", 0, "CLIC: decay parameter r (0 = default 1.0)")
+		noutq     = flag.Int("noutq", 0, "CLIC: outqueue entries (0 = 5 per cache page)")
+		perClient = flag.Bool("per-client", false, "report per-client hit ratios")
+	)
+	flag.Parse()
+	if *tracePath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	t, err := trace.Load(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	sizes, err := parseInts(*caches)
+	if err != nil {
+		fatal(err)
+	}
+	clicCfg := core.Config{TopK: *topk, Window: *window, R: *decay, Noutq: *noutq}
+
+	tbl := report.NewTable(fmt.Sprintf("read hit ratio — trace %s (%s requests)",
+		t.Name, report.Num(t.Len())), "policy", "cache (pages)", "read hit ratio")
+	for _, polName := range strings.Split(*policies, ",") {
+		polName = strings.TrimSpace(polName)
+		for _, size := range sizes {
+			p, err := sim.NewPolicy(polName, size, t, clicCfg)
+			if err != nil {
+				fatal(err)
+			}
+			res := sim.Run(p, t)
+			tbl.AddRow(polName, report.Num(size), report.Pct(res.HitRatio()))
+			if *perClient && len(res.PerClient) > 1 {
+				for _, cs := range res.PerClient {
+					tbl.AddRow("  "+cs.Name, "", report.Pct(cs.HitRatio()))
+				}
+			}
+		}
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q: %w", part, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "clicsim:", err)
+	os.Exit(1)
+}

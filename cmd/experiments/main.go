@@ -1,0 +1,128 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section (§6), printing each as a text table and optionally
+// writing the whole set as markdown (for EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments                        # run everything at full (scaled) size
+//	experiments -fig 6                 # one figure
+//	experiments -scale 0.25            # quick run at a quarter of the requests
+//	experiments -cache traces -md out.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "comma-separated figures to run: 2,3,5,6,7,8,9,10,11,ablations,extension,zoo (empty = all)")
+		scale    = flag.Float64("scale", 1, "request-count scale factor for quick runs")
+		cacheDir = flag.String("cache", "traces", "trace cache directory (empty = regenerate every run)")
+		mdPath   = flag.String("md", "", "also write all tables as markdown to this file")
+		window   = flag.Int("window", 0, "CLIC window W override")
+		decay    = flag.Float64("r", 0, "CLIC decay r override")
+	)
+	flag.Parse()
+
+	env := experiments.NewEnv(*cacheDir)
+	env.Scale = *scale
+	env.Window = *window
+	env.R = *decay
+
+	want := map[string]bool{}
+	if *fig != "" {
+		for _, f := range strings.Split(*fig, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+	run := func(id string) bool { return len(want) == 0 || want[id] }
+
+	var md strings.Builder
+	emit := func(tables ...*report.Table) {
+		for _, t := range tables {
+			if err := t.Render(os.Stdout); err != nil {
+				fatal(err)
+			}
+			md.WriteString(t.Markdown())
+		}
+	}
+
+	type step struct {
+		id string
+		fn func() ([]*report.Table, error)
+	}
+	one := func(fn func() (*report.Table, error)) func() ([]*report.Table, error) {
+		return func() ([]*report.Table, error) {
+			t, err := fn()
+			if err != nil {
+				return nil, err
+			}
+			return []*report.Table{t}, nil
+		}
+	}
+	steps := []step{
+		{"2", env.Fig2},
+		{"3", one(env.Fig3)},
+		{"5", one(env.Fig5)},
+		{"6", env.Fig6},
+		{"7", env.Fig7},
+		{"8", env.Fig8},
+		{"9", env.Fig9},
+		{"10", one(env.Fig10)},
+		{"11", one(env.Fig11)},
+		{"ablations", func() ([]*report.Table, error) {
+			var out []*report.Table
+			for _, fn := range []func() (*report.Table, error){env.AblationR, env.AblationW, env.AblationOutqueue} {
+				t, err := fn()
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, t)
+			}
+			return out, nil
+		}},
+		{"extension", func() ([]*report.Table, error) {
+			t, err := env.ExtensionGeneralize()
+			if err != nil {
+				return nil, err
+			}
+			return []*report.Table{t}, nil
+		}},
+		{"zoo", func() ([]*report.Table, error) {
+			t, err := env.PolicyZoo("DB2_C300", experiments.MidCacheSize)
+			if err != nil {
+				return nil, err
+			}
+			return []*report.Table{t}, nil
+		}},
+	}
+	for _, s := range steps {
+		if !run(s.id) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "== running experiment %s ==\n", s.id)
+		tables, err := s.fn()
+		if err != nil {
+			fatal(err)
+		}
+		emit(tables...)
+	}
+	if *mdPath != "" {
+		if err := os.WriteFile(*mdPath, []byte(md.String()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "markdown written to %s\n", *mdPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

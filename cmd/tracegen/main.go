@@ -1,0 +1,84 @@
+// Command tracegen generates the paper's workload traces (Figure 5) and
+// writes them as binary trace files.
+//
+// Usage:
+//
+//	tracegen -out traces/                    # generate all eight presets
+//	tracegen -trace DB2_C60 -out traces/     # generate one preset
+//	tracegen -trace DB2_C60 -requests 500000 -text -out traces/
+//
+// Preset names: DB2_C60, DB2_C300, DB2_C540, DB2_H80, DB2_H400, DB2_H720,
+// MY_H65, MY_H98.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		out      = flag.String("out", "traces", "output directory")
+		name     = flag.String("trace", "", "preset name (empty = all presets)")
+		requests = flag.Int("requests", 0, "override the preset's request count")
+		seed     = flag.Int64("seed", 0, "override the preset's seed")
+		text     = flag.Bool("text", false, "also write a human-readable .txt trace")
+	)
+	flag.Parse()
+
+	presets := workload.Presets()
+	if *name != "" {
+		p, err := workload.PresetByName(*name)
+		if err != nil {
+			fatal(err)
+		}
+		presets = []workload.Preset{p}
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal(err)
+	}
+	for _, p := range presets {
+		if *requests > 0 {
+			p.Requests = *requests
+		}
+		if *seed != 0 {
+			p.Seed = *seed
+		}
+		fmt.Printf("generating %-10s (%s, %d requests)... ", p.Name, p.Kind, p.Requests)
+		t, err := workload.Generate(p)
+		if err != nil {
+			fatal(err)
+		}
+		path := filepath.Join(*out, p.Name+".trc")
+		if err := trace.Save(path, t); err != nil {
+			fatal(err)
+		}
+		s := t.Stats()
+		fmt.Printf("done: %d reads, %d writes, %d hint sets, %d pages -> %s\n",
+			s.Reads, s.Writes, s.DistinctHints, s.DistinctPages, path)
+		if *text {
+			tp := filepath.Join(*out, p.Name+".txt")
+			f, err := os.Create(tp)
+			if err != nil {
+				fatal(err)
+			}
+			if err := trace.WriteText(f, t); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  text copy -> %s\n", tp)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

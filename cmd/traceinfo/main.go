@@ -1,0 +1,88 @@
+// Command traceinfo inspects a binary trace file: its Figure-5 summary row
+// and, with -hints, its hint-type domains (Figure 2) and most frequent hint
+// sets.
+//
+// Usage:
+//
+//	traceinfo traces/DB2_C60.trc
+//	traceinfo -hints traces/DB2_C60.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	hints := flag.Bool("hints", false, "also print hint domains and top hint sets")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: traceinfo [-hints] trace.trc...")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		t, err := trace.Load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "traceinfo:", err)
+			os.Exit(1)
+		}
+		s := t.Stats()
+		tbl := report.NewTable("trace "+t.Name,
+			"requests", "reads", "writes", "distinct hint sets", "distinct pages", "clients")
+		tbl.AddRow(report.Num(s.Requests), report.Num(s.Reads), report.Num(s.Writes),
+			report.Num(s.DistinctHints), report.Num(s.DistinctPages), report.Num(s.Clients))
+		if err := tbl.Render(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "traceinfo:", err)
+			os.Exit(1)
+		}
+		if *hints {
+			printHints(t)
+		}
+	}
+}
+
+func printHints(t *trace.Trace) {
+	domains := t.Dict.Domains()
+	types := make([]string, 0, len(domains))
+	for typ := range domains {
+		types = append(types, typ)
+	}
+	sort.Strings(types)
+	dt := report.NewTable("hint type domains", "hint type", "cardinality")
+	for _, typ := range types {
+		dt.AddRow(typ, report.Num(len(domains[typ])))
+	}
+	_ = dt.Render(os.Stdout)
+
+	counts := make(map[uint32]int)
+	for _, r := range t.Reqs {
+		counts[r.Hint]++
+	}
+	type hc struct {
+		id uint32
+		n  int
+	}
+	list := make([]hc, 0, len(counts))
+	for id, n := range counts {
+		list = append(list, hc{id, n})
+	}
+	sort.Slice(list, func(i, j int) bool {
+		if list[i].n != list[j].n {
+			return list[i].n > list[j].n
+		}
+		return list[i].id < list[j].id
+	})
+	top := report.NewTable("top 20 hint sets by frequency", "hint set", "requests")
+	for i, e := range list {
+		if i == 20 {
+			break
+		}
+		top.AddRow(t.Dict.Key(e.id), report.Num(e.n))
+	}
+	_ = top.Render(os.Stdout)
+}

@@ -1,0 +1,8 @@
+// Package repro is a from-scratch reproduction of "CLIC: CLient-Informed
+// Caching for Storage Servers" (Liu, Aboulnaga, Salem, Li — FAST 2009).
+//
+// The system layout, the per-experiment index, and the substitutions made
+// for artifacts we do not have (the instrumented DB2/MySQL I/O traces) are
+// documented in DESIGN.md; measured-vs-paper results for every table and
+// figure live in EXPERIMENTS.md. Start with README.md.
+package repro

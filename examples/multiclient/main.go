@@ -1,0 +1,81 @@
+// Multi-client caching: three database clients with different buffer sizes
+// share one storage-server cache, as in the paper's §6.4 / Figure 11. CLIC
+// receives each client's hints (namespaced, uncoordinated) and learns which
+// client's requests are the best caching opportunities.
+//
+//	go run ./examples/multiclient [-requests 300000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	requests := flag.Int("requests", 300000, "per-client trace length")
+	flag.Parse()
+
+	names := []string{"DB2_C60", "DB2_C300", "DB2_C540"}
+	traces := make([]*trace.Trace, len(names))
+	for i, name := range names {
+		p, err := workload.PresetByName(name)
+		if err != nil {
+			fail(err)
+		}
+		p.Requests = *requests
+		fmt.Fprintf(os.Stderr, "generating %s...\n", name)
+		traces[i], err = workload.Generate(p)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	merged, err := trace.Interleave("THREE_CLIENTS", traces...)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("interleaved trace: %s requests from %d clients, %d hint sets\n\n",
+		report.Num(merged.Len()), len(merged.Clients), merged.Stats().DistinctHints)
+
+	const shared = 18000
+	partition := shared / len(names)
+
+	cfg := core.Config{TopK: 100, Window: 50000, Capacity: sim.ClicCapacity(shared)}
+	sharedRes := sim.Run(core.New(cfg), merged)
+
+	tbl := report.NewTable(
+		fmt.Sprintf("CLIC with a %s-page shared cache vs %d × %s-page private caches",
+			report.Num(shared), len(names), report.Num(partition)),
+		"client", "shared cache hit ratio", "private cache hit ratio")
+	var privReads, privHits uint64
+	for i, t := range traces {
+		pcfg := core.Config{TopK: 100, Window: 50000, Capacity: sim.ClicCapacity(partition)}
+		priv := sim.Run(core.New(pcfg), t)
+		privReads += priv.Reads
+		privHits += priv.ReadHits
+		tbl.AddRow(names[i],
+			report.Pct(sharedRes.PerClient[i].HitRatio()),
+			report.Pct(priv.HitRatio()))
+	}
+	overallPriv := 0.0
+	if privReads > 0 {
+		overallPriv = float64(privHits) / float64(privReads)
+	}
+	tbl.AddRow("overall", report.Pct(sharedRes.HitRatio()), report.Pct(overallPriv))
+	tbl.AddNote("CLIC concentrates the shared cache on the client with the most residual locality (§6.4)")
+	if err := tbl.Render(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "multiclient:", err)
+	os.Exit(1)
+}

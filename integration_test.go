@@ -1,0 +1,140 @@
+// End-to-end integration tests: workload generation → trace file round
+// trip → policy simulation → the paper's headline orderings. These cross
+// every module boundary in one pass, at small scale.
+package repro_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func generateSmall(t *testing.T, name string, requests int) *trace.Trace {
+	t.Helper()
+	p, err := workload.PresetByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Requests = requests
+	tr, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestEndToEndPipeline generates a trace, round-trips it through the binary
+// codec, and verifies a simulation on the loaded copy matches one on the
+// original exactly.
+func TestEndToEndPipeline(t *testing.T) {
+	tr := generateSmall(t, "DB2_C60", 150000)
+	path := filepath.Join(t.TempDir(), "c60.trc")
+	if err := trace.Save(path, tr); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := trace.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []string{"LRU", "CLIC"} {
+		cfg := core.Config{Window: 20000}
+		p1, err := sim.NewPolicy(pol, 6000, tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := sim.NewPolicy(pol, 6000, loaded, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1 := sim.Run(p1, tr)
+		r2 := sim.Run(p2, loaded)
+		if r1.ReadHits != r2.ReadHits || r1.Reads != r2.Reads {
+			t.Errorf("%s: original %d/%d vs loaded %d/%d", pol, r1.ReadHits, r1.Reads, r2.ReadHits, r2.Reads)
+		}
+	}
+}
+
+// TestHeadlineOrdering verifies the paper's central comparative claims on
+// a small DB2_C60 trace: OPT bounds everything, and the hint-aware
+// policies beat the hint-oblivious ones at the smallest cache size, where
+// recency has the least to work with.
+func TestHeadlineOrdering(t *testing.T) {
+	tr := generateSmall(t, "DB2_C60", 300000)
+	const cache = 6000
+	hits := map[string]uint64{}
+	for _, pol := range []string{"OPT", "LRU", "ARC", "TQ", "CLIC"} {
+		p, err := sim.NewPolicy(pol, cache, tr, core.Config{Window: 30000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits[pol] = sim.Run(p, tr).ReadHits
+	}
+	for _, pol := range []string{"LRU", "ARC", "TQ", "CLIC"} {
+		if hits[pol] > hits["OPT"] {
+			t.Errorf("%s (%d) beat OPT (%d)", pol, hits[pol], hits["OPT"])
+		}
+	}
+	if hits["CLIC"] <= hits["ARC"] || hits["CLIC"] <= hits["LRU"] {
+		t.Errorf("CLIC (%d) did not beat hint-oblivious policies (ARC %d, LRU %d)",
+			hits["CLIC"], hits["ARC"], hits["LRU"])
+	}
+	if hits["TQ"] <= hits["LRU"] {
+		t.Errorf("TQ (%d) did not beat LRU (%d)", hits["TQ"], hits["LRU"])
+	}
+}
+
+// TestMultiClientSharedBeatsPartitioned reproduces Figure 11's overall
+// conclusion at small scale.
+func TestMultiClientSharedBeatsPartitioned(t *testing.T) {
+	names := []string{"DB2_C60", "DB2_C300", "DB2_C540"}
+	traces := make([]*trace.Trace, len(names))
+	for i, n := range names {
+		traces[i] = generateSmall(t, n, 120000)
+	}
+	merged, err := trace.Interleave("m", traces...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const shared = 9000
+	cfg := core.Config{Window: 20000, TopK: 100, Capacity: sim.ClicCapacity(shared)}
+	sharedRes := sim.Run(core.New(cfg), merged)
+
+	var privHits, privReads uint64
+	for _, tr := range traces {
+		pcfg := core.Config{Window: 20000, TopK: 100, Capacity: sim.ClicCapacity(shared / 3)}
+		r := sim.Run(core.New(pcfg), tr)
+		privHits += r.ReadHits
+		privReads += r.Reads
+	}
+	sharedRatio := sharedRes.HitRatio()
+	privRatio := float64(privHits) / float64(privReads)
+	if sharedRatio <= privRatio {
+		t.Errorf("shared cache (%.3f) did not beat equal partitioning (%.3f)", sharedRatio, privRatio)
+	}
+}
+
+// TestNoiseToleranceAtC60 reproduces Figure 10's C60 claim: mild
+// degradation only, even with T=3 noise hint types.
+func TestNoiseToleranceAtC60(t *testing.T) {
+	base := generateSmall(t, "DB2_C60", 200000)
+	run := func(tr *trace.Trace) float64 {
+		cfg := core.Config{Window: 20000, TopK: 100, Capacity: sim.ClicCapacity(6000)}
+		return sim.Run(core.New(cfg), tr).HitRatio()
+	}
+	clean := run(base)
+	noisy3, err := trace.WithNoise(base, trace.DefaultNoise(3, 99))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := run(noisy3)
+	if clean <= 0 {
+		t.Fatal("degenerate baseline")
+	}
+	if dirty < clean*0.5 {
+		t.Errorf("T=3 noise more than halved the hit ratio: %.3f -> %.3f", clean, dirty)
+	}
+}

@@ -1,0 +1,224 @@
+// Package core implements CLIC (CLient-Informed Caching), the paper's
+// primary contribution: a generic, adaptive, hint-based replacement policy
+// for second-tier storage-server caches.
+//
+// CLIC assigns each hint set H a caching priority
+//
+//	Pr(H) = fhit(H) / D(H),    fhit(H) = Nr(H) / N(H)     (Equations 1–2)
+//
+// where N(H) counts requests with hint set H, Nr(H) counts those requests
+// that were followed by a read re-reference of the same page, and D(H) is
+// the mean re-reference distance. Statistics are gathered per window of W
+// requests and blended across windows with decay r (Equation 3). The cache
+// itself plus a bounded outqueue of Noutq recently seen but uncached pages
+// provide the "most recent request" records (seq, hint set) needed to
+// detect read re-references (§3.1).
+//
+// Replacement follows Figure 4: a newly requested page is cached only if
+// some cached page has strictly lower priority; the victim is the
+// minimum-priority page, ties broken by minimum sequence number.
+//
+// Hint-set tracking can optionally be bounded to the k most frequent hint
+// sets with an adapted Space-Saving summary (§5) by setting Config.TopK.
+package core
+
+import (
+	"repro/internal/hint"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// Config parameterises a CLIC cache.
+type Config struct {
+	// Capacity is the cache size in pages.
+	Capacity int
+	// Noutq is the number of outqueue entries. Zero selects the paper's
+	// setting of 5 entries per cache page (§6.1); NoOutqueue disables the
+	// outqueue so re-references are detected only for cached pages.
+	Noutq int
+	// Window is W, the number of requests per statistics window. Zero
+	// selects DefaultWindow.
+	Window int
+	// R is the exponential decay parameter r in (0, 1]; at 1 (the paper's
+	// setting) priorities reflect only the most recent window. Zero selects
+	// 1.
+	R float64
+	// TopK bounds hint-set tracking to the k most frequent hint sets using
+	// the adapted Space-Saving algorithm (§5). Zero tracks all hint sets
+	// exactly.
+	TopK int
+}
+
+// DefaultWindow is the statistics window used when Config.Window is zero.
+// The paper uses W = 1e6 on traces of 3M–635M requests; our scaled traces
+// are ~10× shorter, so the default window scales likewise.
+const DefaultWindow = 100_000
+
+// NoOutqueue, assigned to Config.Noutq, disables the outqueue entirely.
+const NoOutqueue = -1
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Noutq == 0 {
+		cfg.Noutq = 5 * cfg.Capacity
+	} else if cfg.Noutq < 0 {
+		cfg.Noutq = 0
+	}
+	if cfg.Window == 0 {
+		cfg.Window = DefaultWindow
+	}
+	if cfg.R == 0 {
+		cfg.R = 1
+	}
+	return cfg
+}
+
+// Cache is a CLIC server cache. It is not safe for concurrent use.
+type Cache struct {
+	cfg Config
+	seq uint64
+
+	// pr holds the priorities in effect during the current window,
+	// computed at the last window boundary (Equation 3).
+	pr map[hint.ID]float64
+
+	// Exact per-window statistics (TopK == 0).
+	stats map[hint.ID]*winStats
+	// Bounded per-window statistics (TopK > 0).
+	topk *hintSummary
+
+	// Cached pages, grouped per hint set.
+	pages  map[uint64]*pageEntry
+	groups map[hint.ID]*group
+	heap   groupHeap
+
+	// Outqueue of recently seen, uncached pages (§3.1).
+	out outqueue
+
+	sinceRotate int
+	windows     int
+}
+
+var _ policy.Policy = (*Cache)(nil)
+
+// winStats are the per-window statistics for one hint set.
+type winStats struct {
+	n    uint64  // N(H): requests with this hint set this window
+	nr   uint64  // Nr(H): read re-references credited to this hint set
+	dsum float64 // sum of re-reference distances (D(H) = dsum/nr)
+}
+
+// New returns a CLIC cache for the given configuration.
+func New(cfg Config) *Cache {
+	if cfg.Capacity < 0 {
+		panic("core: negative capacity")
+	}
+	cfg = cfg.withDefaults()
+	c := &Cache{
+		cfg:    cfg,
+		pr:     make(map[hint.ID]float64),
+		pages:  make(map[uint64]*pageEntry, cfg.Capacity),
+		groups: make(map[hint.ID]*group),
+	}
+	if cfg.TopK > 0 {
+		c.topk = newHintSummary(cfg.TopK)
+	} else {
+		c.stats = make(map[hint.ID]*winStats)
+	}
+	c.out.init(cfg.Noutq)
+	return c
+}
+
+// Name implements policy.Policy.
+func (c *Cache) Name() string { return "CLIC" }
+
+// Len implements policy.Policy.
+func (c *Cache) Len() int { return len(c.pages) }
+
+// Capacity implements policy.Policy.
+func (c *Cache) Capacity() int { return c.cfg.Capacity }
+
+// Config returns the configuration in effect (with defaults applied).
+func (c *Cache) Config() Config { return c.cfg }
+
+// Windows returns the number of completed statistics windows.
+func (c *Cache) Windows() int { return c.windows }
+
+// Access implements policy.Policy, processing one request per Figure 4 and
+// updating the hint statistics of §3.1.
+func (c *Cache) Access(r trace.Request) bool {
+	s := c.seq
+	c.seq++
+
+	// Statistics: count the arrival, and detect a read re-reference using
+	// the most-recent-request record held in the cache or the outqueue.
+	c.countArrival(r.Hint)
+	if r.Op == trace.Read {
+		if e, ok := c.pages[r.Page]; ok {
+			c.creditReref(e.hint, s-e.seq)
+		} else if e, ok := c.out.get(r.Page); ok {
+			c.creditReref(e.hint, s-e.seq)
+		}
+	}
+
+	hit := false
+	if e, ok := c.pages[r.Page]; ok {
+		// Figure 4 lines 23–25: refresh the record; the most recent
+		// request determines the page's priority from now on.
+		hit = r.Op == trace.Read
+		c.rehint(e, s, r.Hint)
+	} else {
+		c.admit(r.Page, s, r.Hint)
+	}
+
+	c.sinceRotate++
+	if c.sinceRotate >= c.cfg.Window {
+		c.rotateWindow()
+	}
+	return hit
+}
+
+// admit handles a request for an uncached page (Figure 4 lines 1–22).
+func (c *Cache) admit(page, s uint64, h hint.ID) {
+	if len(c.pages) < c.cfg.Capacity {
+		c.insert(page, s, h)
+		return
+	}
+	if c.cfg.Capacity > 0 && len(c.heap) > 0 {
+		top := c.heap[0]
+		if c.priority(h) > top.pr {
+			v := top.head // minimum seq within the minimum-priority group
+			c.removeFromGroup(v)
+			delete(c.pages, v.page)
+			c.out.put(v.page, v.seq, v.hint)
+			c.insert(page, s, h)
+			return
+		}
+	}
+	// Do not cache: record the request in the outqueue (lines 19–22).
+	c.out.put(page, s, h)
+}
+
+// insert caches a page with the given record.
+func (c *Cache) insert(page, s uint64, h hint.ID) {
+	if c.cfg.Capacity == 0 {
+		c.out.put(page, s, h)
+		return
+	}
+	// If the page was in the outqueue, its stale record must go: the cache
+	// now holds the authoritative record.
+	c.out.drop(page)
+	e := &pageEntry{page: page, seq: s, hint: h}
+	c.pages[page] = e
+	c.appendToGroup(e, h)
+}
+
+// rehint updates a cached page's record after a new request for it.
+func (c *Cache) rehint(e *pageEntry, s uint64, h hint.ID) {
+	c.removeFromGroup(e)
+	e.seq = s
+	e.hint = h
+	c.appendToGroup(e, h)
+}
+
+// priority returns Pr(H) in effect during the current window.
+func (c *Cache) priority(h hint.ID) float64 { return c.pr[h] }

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/hint"
+)
+
+// pageEntry records the most recent request for a page: its sequence number
+// and hint set (§3.1). Entries live either in a hint-set group (cached
+// pages) or in the outqueue (uncached pages), never both.
+type pageEntry struct {
+	page uint64
+	seq  uint64
+	hint hint.ID
+
+	grp        *group // non-nil iff cached
+	prev, next *pageEntry
+}
+
+// group collects all cached pages whose latest request carried the same
+// hint set, in a doubly-linked list ordered by sequence number (appends are
+// always the newest request, so order holds by construction). The group
+// sits in the priority heap keyed by (pr, head.seq).
+type group struct {
+	hint    hint.ID
+	pr      float64
+	head    *pageEntry // minimum sequence number
+	tail    *pageEntry
+	size    int
+	heapIdx int
+}
+
+// appendToGroup places a cached entry at the tail of its hint set's group,
+// creating the group (and registering it in the heap) when needed.
+func (c *Cache) appendToGroup(e *pageEntry, h hint.ID) {
+	g, ok := c.groups[h]
+	if !ok {
+		g = &group{hint: h, pr: c.priority(h)}
+		c.groups[h] = g
+	}
+	e.grp = g
+	e.prev = g.tail
+	e.next = nil
+	if g.tail != nil {
+		g.tail.next = e
+	}
+	g.tail = e
+	wasEmpty := g.head == nil
+	if wasEmpty {
+		g.head = e
+	}
+	g.size++
+	if wasEmpty {
+		heap.Push(&c.heap, g)
+	}
+	// Appends never change a non-empty group's head, so no Fix is needed.
+}
+
+// removeFromGroup unlinks a cached entry from its group, fixing the heap if
+// the group's head (its key component) changed, and dropping empty groups.
+func (c *Cache) removeFromGroup(e *pageEntry) {
+	g := e.grp
+	wasHead := g.head == e
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		g.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		g.tail = e.prev
+	}
+	e.prev, e.next, e.grp = nil, nil, nil
+	g.size--
+	if g.size == 0 {
+		heap.Remove(&c.heap, g.heapIdx)
+		delete(c.groups, g.hint)
+		return
+	}
+	if wasHead {
+		heap.Fix(&c.heap, g.heapIdx)
+	}
+}
+
+// groupHeap is a min-heap of groups keyed by (priority, head sequence
+// number): the top group holds the global victim page — the oldest page
+// among those with the minimum priority (Figure 4 lines 7–11).
+type groupHeap []*group
+
+func (h groupHeap) Len() int { return len(h) }
+func (h groupHeap) Less(i, j int) bool {
+	if h[i].pr != h[j].pr {
+		return h[i].pr < h[j].pr
+	}
+	return h[i].head.seq < h[j].head.seq
+}
+func (h groupHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *groupHeap) Push(x any) {
+	g := x.(*group)
+	g.heapIdx = len(*h)
+	*h = append(*h, g)
+}
+func (h *groupHeap) Pop() any {
+	old := *h
+	n := len(old)
+	g := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return g
+}
+
+// outqueue is the bounded FIFO of most-recent-request records for pages
+// that are not cached (§3.1). When full, the least-recently inserted entry
+// is evicted, deliberately biasing re-reference detection toward short
+// re-reference distances — the ones that lead to high caching priority.
+type outqueue struct {
+	capacity   int
+	pages      map[uint64]*pageEntry
+	head, tail *pageEntry // head is the least-recently inserted
+	size       int
+}
+
+func (q *outqueue) init(capacity int) {
+	q.capacity = capacity
+	q.pages = make(map[uint64]*pageEntry, capacity)
+}
+
+// get returns the record for a page if present.
+func (q *outqueue) get(page uint64) (*pageEntry, bool) {
+	e, ok := q.pages[page]
+	return e, ok
+}
+
+// put records (seq, hint) for a page. An existing entry is refreshed and
+// moved to the most-recently-inserted position, matching §3.1's "an entry
+// is placed in the outqueue" for every uncached request.
+func (q *outqueue) put(page, seq uint64, h hint.ID) {
+	if q.capacity <= 0 {
+		return
+	}
+	if e, ok := q.pages[page]; ok {
+		e.seq = seq
+		e.hint = h
+		q.unlink(e)
+		q.append(e)
+		return
+	}
+	if q.size >= q.capacity {
+		old := q.head
+		q.unlink(old)
+		delete(q.pages, old.page)
+		q.size--
+	}
+	e := &pageEntry{page: page, seq: seq, hint: h}
+	q.pages[page] = e
+	q.append(e)
+	q.size++
+}
+
+// drop removes a page's record, if any (used when the page becomes cached).
+func (q *outqueue) drop(page uint64) {
+	if e, ok := q.pages[page]; ok {
+		q.unlink(e)
+		delete(q.pages, page)
+		q.size--
+	}
+}
+
+func (q *outqueue) append(e *pageEntry) {
+	e.prev = q.tail
+	e.next = nil
+	if q.tail != nil {
+		q.tail.next = e
+	}
+	q.tail = e
+	if q.head == nil {
+		q.head = e
+	}
+}
+
+func (q *outqueue) unlink(e *pageEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		q.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		q.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// Len returns the number of outqueue entries (exported for tests via the
+// cache wrapper below).
+func (q *outqueue) len() int { return q.size }
+
+// OutqueueLen returns the current number of outqueue entries.
+func (c *Cache) OutqueueLen() int { return c.out.len() }

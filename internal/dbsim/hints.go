@@ -1,0 +1,119 @@
+package dbsim
+
+import (
+	"strconv"
+
+	"repro/internal/hint"
+)
+
+// ReqType is the I/O request type from the client's perspective. It maps to
+// the paper's "request type" hint (Figure 2): reads are regular or prefetch
+// reads; writes carry the write hints of Li et al. [11] — recovery writes
+// (for durability; the page stays hot in the client cache), replacement
+// writes (an asynchronous page cleaner pushing out an eviction candidate),
+// and synchronous writes (replacement writes performed in the critical path
+// because the victim had to leave immediately).
+type ReqType uint8
+
+const (
+	// ReadReq is a regular (demand) read.
+	ReadReq ReqType = iota
+	// PrefetchReq is a prefetch read issued ahead of a scan.
+	PrefetchReq
+	// ReplWrite is an asynchronous replacement write by the page cleaner.
+	ReplWrite
+	// RecWrite is a recovery (checkpoint/durability) write.
+	RecWrite
+	// SyncWrite is a synchronous replacement write on the eviction path.
+	SyncWrite
+)
+
+// String returns the hint value used in trace dictionaries.
+func (rt ReqType) String() string {
+	switch rt {
+	case ReadReq:
+		return "read"
+	case PrefetchReq:
+		return "prefetch"
+	case ReplWrite:
+		return "repl-write"
+	case RecWrite:
+		return "rec-write"
+	case SyncWrite:
+		return "sync-write"
+	default:
+		return "reqtype(" + strconv.Itoa(int(rt)) + ")"
+	}
+}
+
+// IsWrite reports whether the request type is a write.
+func (rt ReqType) IsWrite() bool { return rt >= ReplWrite }
+
+// HintCtx carries per-request context some hint styles need.
+type HintCtx struct {
+	// Thread is the issuing server thread (MySQL "thread ID" hint).
+	Thread int
+	// FixCount is the number of client threads currently fixing the page
+	// (MySQL "fix count" hint; domain {1, 2} in the paper's traces).
+	FixCount int
+}
+
+// HintStyle builds the hint set a client attaches to an I/O request. The
+// two implementations reproduce the DB2 and MySQL hint vocabularies of the
+// paper's Figure 2.
+type HintStyle interface {
+	// Hints returns the hint set for a request on obj with type rt.
+	Hints(obj *Object, rt ReqType, ctx HintCtx) hint.Set
+	// Name identifies the style.
+	Name() string
+}
+
+// DB2Style emits the five DB2 hint types of Figure 2: pool ID, object ID,
+// object type ID, request type, and buffer priority.
+type DB2Style struct{}
+
+// Name implements HintStyle.
+func (DB2Style) Name() string { return "db2" }
+
+// Hints implements HintStyle.
+func (DB2Style) Hints(obj *Object, rt ReqType, _ HintCtx) hint.Set {
+	return hint.Set{
+		{Type: "pool", Value: "p" + strconv.Itoa(obj.Pool)},
+		{Type: "object", Value: "o" + strconv.Itoa(obj.ID)},
+		{Type: "objtype", Value: obj.TypeName},
+		{Type: "reqtype", Value: rt.String()},
+		{Type: "prio", Value: strconv.Itoa(obj.Priority)},
+	}
+}
+
+// MySQLStyle emits the four MySQL hint types of Figure 2: thread ID,
+// request type (3 values — prefetch reads report as reads and synchronous
+// writes as replacement writes, since MySQL does not distinguish them),
+// file ID, and fix count.
+type MySQLStyle struct{}
+
+// Name implements HintStyle.
+func (MySQLStyle) Name() string { return "mysql" }
+
+// Hints implements HintStyle.
+func (MySQLStyle) Hints(obj *Object, rt ReqType, ctx HintCtx) hint.Set {
+	var rv string
+	switch rt {
+	case ReadReq, PrefetchReq:
+		rv = "read"
+	case ReplWrite, SyncWrite:
+		rv = "repl-write"
+	case RecWrite:
+		rv = "rec-write"
+	}
+	fix := ctx.FixCount
+	if fix < 1 {
+		fix = 1
+	}
+	return hint.Set{
+		{Type: "thread", Value: "t" + strconv.Itoa(ctx.Thread)},
+		{Type: "reqtype", Value: rv},
+		{Type: "file", Value: "f" + strconv.Itoa(obj.FileID)},
+		{Type: "fix", Value: strconv.Itoa(fix)},
+	}
+}

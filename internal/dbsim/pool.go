@@ -1,0 +1,131 @@
+package dbsim
+
+// bufPage is one frame in a client buffer pool.
+type bufPage struct {
+	page       uint64
+	obj        *Object
+	dirty      bool
+	prev, next *bufPage // LRU list links; head is MRU
+}
+
+// bufPool is a client-tier buffer cache with LRU replacement and dirty-page
+// tracking. One bufPool per DB2 buffer pool; MySQL uses a single pool.
+type bufPool struct {
+	id       int
+	capacity int
+	frames   map[uint64]*bufPage
+	head     *bufPage // MRU
+	tail     *bufPage // LRU
+	dirty    int
+}
+
+func newBufPool(id, capacity int) *bufPool {
+	return &bufPool{id: id, capacity: capacity, frames: make(map[uint64]*bufPage, capacity)}
+}
+
+func (p *bufPool) len() int { return len(p.frames) }
+
+// get returns the frame for a page, refreshing recency, or nil on a miss.
+func (p *bufPool) get(page uint64) *bufPage {
+	f, ok := p.frames[page]
+	if !ok {
+		return nil
+	}
+	p.moveToFront(f)
+	return f
+}
+
+// victim returns the LRU frame that must be evicted before an insert, or
+// nil if the pool has free space.
+func (p *bufPool) victim() *bufPage {
+	if len(p.frames) < p.capacity {
+		return nil
+	}
+	return p.tail
+}
+
+// evict removes a frame from the pool.
+func (p *bufPool) evict(f *bufPage) {
+	if f.dirty {
+		p.dirty--
+	}
+	p.remove(f)
+	delete(p.frames, f.page)
+}
+
+// insert adds a page at the MRU position. The caller must have made room.
+func (p *bufPool) insert(page uint64, obj *Object) *bufPage {
+	f := &bufPage{page: page, obj: obj}
+	p.frames[page] = f
+	p.pushFront(f)
+	return f
+}
+
+// markDirty flags a frame as modified.
+func (p *bufPool) markDirty(f *bufPage) {
+	if !f.dirty {
+		f.dirty = true
+		p.dirty++
+	}
+}
+
+// markClean clears a frame's dirty flag (after its contents were written).
+func (p *bufPool) markClean(f *bufPage) {
+	if f.dirty {
+		f.dirty = false
+		p.dirty--
+	}
+}
+
+// dirtyFromLRU returns up to max dirty frames starting from the LRU end, in
+// LRU-to-MRU order. The page cleaner writes these: cleaning cold dirty
+// pages first is exactly what produces replacement writes for pages about
+// to be evicted from the client.
+func (p *bufPool) dirtyFromLRU(max int) []*bufPage {
+	var out []*bufPage
+	for f := p.tail; f != nil && len(out) < max; f = f.prev {
+		if f.dirty {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// allDirty returns every dirty frame in LRU-to-MRU order (checkpointing).
+func (p *bufPool) allDirty() []*bufPage {
+	return p.dirtyFromLRU(len(p.frames))
+}
+
+func (p *bufPool) pushFront(f *bufPage) {
+	f.prev = nil
+	f.next = p.head
+	if p.head != nil {
+		p.head.prev = f
+	}
+	p.head = f
+	if p.tail == nil {
+		p.tail = f
+	}
+}
+
+func (p *bufPool) remove(f *bufPage) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		p.head = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		p.tail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}
+
+func (p *bufPool) moveToFront(f *bufPage) {
+	if p.head == f {
+		return
+	}
+	p.remove(f)
+	p.pushFront(f)
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/hintproj"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Ablation experiments for the design choices DESIGN.md calls out. These go
+// beyond the paper's figures: they vary CLIC's own parameters (r, W, Noutq)
+// and compare the full policy zoo, quantifying how much each mechanism
+// contributes.
+
+// AblationR varies the exponential decay parameter r (Equation 3) on the
+// DB2_C300 trace with a mid-size cache. The paper fixes r = 1; this table
+// shows how much smoothing older windows helps or hurts.
+func (e *Env) AblationR() (*report.Table, error) {
+	t, err := e.Trace("DB2_C300")
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Ablation — decay parameter r, DB2_C300, %d-page cache", MidCacheSize),
+		"r", "read hit ratio")
+	for _, r := range []float64{1.0, 0.75, 0.5, 0.25, 0.1} {
+		cfg := e.clicConfig()
+		cfg.R = r
+		cfg.Capacity = sim.ClicCapacity(MidCacheSize)
+		res := sim.Run(core.New(cfg), t)
+		tbl.AddRow(fmt.Sprintf("%.2f", r), report.Pct(res.HitRatio()))
+	}
+	return tbl, nil
+}
+
+// AblationW varies the statistics window W (§3.2) on the DB2_C300 trace.
+func (e *Env) AblationW() (*report.Table, error) {
+	t, err := e.Trace("DB2_C300")
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Ablation — window size W, DB2_C300, %d-page cache", MidCacheSize),
+		"W (requests)", "windows completed", "read hit ratio")
+	for _, w := range []int{12500, 25000, 50000, 100000, 200000, 400000} {
+		cfg := e.clicConfig()
+		cfg.Window = w
+		cfg.Capacity = sim.ClicCapacity(MidCacheSize)
+		c := core.New(cfg)
+		res := sim.Run(c, t)
+		tbl.AddRow(report.Num(w), report.Num(c.Windows()), report.Pct(res.HitRatio()))
+	}
+	return tbl, nil
+}
+
+// AblationOutqueue varies the outqueue size (§3.1) as a multiple of the
+// cache capacity; the paper uses 5×. NoOutqueue disables re-reference
+// tracking for uncached pages entirely, showing why the outqueue exists.
+func (e *Env) AblationOutqueue() (*report.Table, error) {
+	t, err := e.Trace("DB2_C300")
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Ablation — outqueue size, DB2_C300, %d-page cache", MidCacheSize),
+		"Noutq (per cache page)", "read hit ratio")
+	for _, mult := range []int{-1, 1, 2, 5, 10} {
+		cfg := e.clicConfig()
+		cfg.Capacity = sim.ClicCapacity(MidCacheSize)
+		label := report.Num(mult)
+		if mult < 0 {
+			cfg.Noutq = core.NoOutqueue
+			label = "0 (disabled)"
+		} else {
+			cfg.Noutq = mult * cfg.Capacity
+		}
+		res := sim.Run(core.New(cfg), t)
+		tbl.AddRow(label, report.Pct(res.HitRatio()))
+	}
+	return tbl, nil
+}
+
+// PolicyZoo compares every implemented policy — the paper's five plus the
+// related-work baselines — on one trace and cache size.
+func (e *Env) PolicyZoo(traceName string, cacheSize int) (*report.Table, error) {
+	t, err := e.Trace(traceName)
+	if err != nil {
+		return nil, err
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Policy zoo — %s trace, %d-page cache", traceName, cacheSize),
+		"policy", "read hit ratio")
+	for _, name := range sim.PolicyNames {
+		p, err := sim.NewPolicy(name, cacheSize, t, e.clicConfig())
+		if err != nil {
+			return nil, err
+		}
+		res := sim.Run(p, t)
+		tbl.AddRow(name, report.Pct(res.HitRatio()))
+	}
+	return tbl, nil
+}
+
+// ExtensionGeneralize evaluates the paper's §8 future-work extension
+// (implemented in internal/hintproj): hint-set generalization by selecting
+// the informative hint types and projecting hint sets onto them. It reruns
+// the Figure-10 noise experiment with generalization in front of CLIC.
+func (e *Env) ExtensionGeneralize() (*report.Table, error) {
+	names := []string{"DB2_C60", "DB2_C300", "DB2_C540"}
+	cols := append([]string{"T (noise hint types)"}, names...)
+	tbl := report.NewTable(
+		fmt.Sprintf("Extension (§8) — Figure 10 with hint generalization, k=100, %d-page cache", MidCacheSize), cols...)
+	rows := make([][]string, len(Fig10Ts))
+	for i, T := range Fig10Ts {
+		rows[i] = []string{report.Num(T)}
+	}
+	for _, name := range names {
+		base, err := e.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		for i, T := range Fig10Ts {
+			noisy, err := trace.WithNoise(base, trace.DefaultNoise(T, 7700+int64(T)))
+			if err != nil {
+				return nil, err
+			}
+			sample := noisy.Len() / 4
+			projected, _ := hintproj.Generalize(noisy, MidCacheSize, sample, 5)
+			cfg := e.clicConfig()
+			cfg.TopK = 100
+			cfg.Capacity = sim.ClicCapacity(MidCacheSize)
+			res := sim.Run(core.New(cfg), projected)
+			rows[i] = append(rows[i], report.Pct(res.HitRatio()))
+		}
+	}
+	for _, row := range rows {
+		tbl.AddRow(row...)
+	}
+	tbl.AddNote("compare against Figure 10: generalization selects the informative hint types from a 25%% sample and discards the synthetic noise types")
+	return tbl, nil
+}

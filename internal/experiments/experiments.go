@@ -1,0 +1,122 @@
+// Package experiments defines one regeneration function per table and
+// figure in the paper's evaluation (§6). The cmd/experiments binary and the
+// repository benchmarks both call into this package, so the figures printed
+// by either are produced by identical code.
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Env generates and caches workload traces for the experiment functions.
+type Env struct {
+	// Dir, when non-empty, persists generated traces as binary files so
+	// repeated runs skip regeneration.
+	Dir string
+	// Scale multiplies every preset's request count; 1 (or 0) reproduces
+	// the full scaled experiments, smaller values give quick runs for
+	// benchmarks and tests.
+	Scale float64
+	// Window and R override CLIC's parameters when non-zero (paper: the
+	// full-size W = 1e6 with r = 1; our scaled default is W = 1e5).
+	Window int
+	R      float64
+
+	traces map[string]*trace.Trace
+}
+
+// NewEnv returns an experiment environment caching traces under dir
+// ("" disables the disk cache).
+func NewEnv(dir string) *Env {
+	return &Env{Dir: dir, Scale: 1, traces: make(map[string]*trace.Trace)}
+}
+
+func (e *Env) scale() float64 {
+	if e.Scale <= 0 {
+		return 1
+	}
+	return e.Scale
+}
+
+// clicConfig returns the CLIC configuration template for comparison runs.
+func (e *Env) clicConfig() core.Config {
+	cfg := core.Config{Window: e.Window, R: e.R}
+	if cfg.Window == 0 && e.scale() < 1 {
+		// Keep several windows per trace even in quick runs.
+		cfg.Window = int(float64(core.DefaultWindow) * e.scale())
+		if cfg.Window < 1000 {
+			cfg.Window = 1000
+		}
+	}
+	return cfg
+}
+
+// Preset returns the named workload preset with the environment's scale
+// applied to its request budget.
+func (e *Env) Preset(name string) (workload.Preset, error) {
+	p, err := workload.PresetByName(name)
+	if err != nil {
+		return p, err
+	}
+	if s := e.scale(); s != 1 {
+		p.Requests = int(float64(p.Requests) * s)
+		if p.Requests < 10000 {
+			p.Requests = 10000
+		}
+	}
+	return p, nil
+}
+
+// Trace returns the named trace, generating (and disk-caching) on demand.
+func (e *Env) Trace(name string) (*trace.Trace, error) {
+	if t, ok := e.traces[name]; ok {
+		return t, nil
+	}
+	p, err := e.Preset(name)
+	if err != nil {
+		return nil, err
+	}
+	if e.Dir != "" {
+		path := e.cachePath(p)
+		if t, err := trace.Load(path); err == nil && t.Len() == p.Requests {
+			e.traces[name] = t
+			return t, nil
+		}
+	}
+	t, err := workload.Generate(p)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: generating %s: %w", name, err)
+	}
+	if e.Dir != "" {
+		if err := os.MkdirAll(e.Dir, 0o755); err == nil {
+			// Cache failures are non-fatal; regeneration always works.
+			_ = trace.Save(e.cachePath(p), t)
+		}
+	}
+	e.traces[name] = t
+	return t, nil
+}
+
+func (e *Env) cachePath(p workload.Preset) string {
+	return filepath.Join(e.Dir, fmt.Sprintf("%s-%d.trc", p.Name, p.Requests))
+}
+
+// ServerSizes returns the server-cache sweep for a trace, scaled like the
+// request budget so quick runs keep cache-to-trace proportions sensible.
+func (e *Env) ServerSizes(name string) ([]int, error) {
+	p, err := workload.PresetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.ServerSizes, nil
+}
+
+// MidCacheSize returns the scaled equivalent of the paper's 180K-page
+// server cache used by Figures 9–11 (18K pages at our 10× scale-down).
+const MidCacheSize = 18000

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// testEnv returns a tiny-scale environment (shared trace cache across
+// subtests via the memory map; no disk cache to keep tests hermetic).
+func testEnv() *Env {
+	e := NewEnv("")
+	e.Scale = 0.01 // presets floor at 10K requests
+	e.Window = 2000
+	return e
+}
+
+func TestTraceGenerationAndCaching(t *testing.T) {
+	e := testEnv()
+	a, err := e.Trace("DB2_C60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Trace("DB2_C60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("second Trace call should return the memoised trace")
+	}
+	if a.Len() < 10000 {
+		t.Errorf("scaled trace too short: %d", a.Len())
+	}
+	if _, err := e.Trace("NOPE"); err == nil {
+		t.Error("unknown trace should error")
+	}
+}
+
+func TestDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	e := NewEnv(dir)
+	e.Scale = 0.01
+	if _, err := e.Trace("MY_H98"); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh env must load from disk (observable only via correctness).
+	e2 := NewEnv(dir)
+	e2.Scale = 0.01
+	tr, err := e2.Trace("MY_H98")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFig2(t *testing.T) {
+	tables, err := testEnv().Fig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("Fig2 returned %d tables", len(tables))
+	}
+	if !strings.Contains(tables[0].String(), "reqtype") {
+		t.Error("Fig2 table missing the reqtype hint domain")
+	}
+}
+
+func TestFig3(t *testing.T) {
+	tbl, err := testEnv().Fig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) == 0 {
+		t.Fatal("Fig3 produced no hint sets with non-zero priority")
+	}
+	if got := tbl.Columns[4]; got != "Pr(H)" {
+		t.Errorf("column 5 = %q", got)
+	}
+}
+
+func TestFig5(t *testing.T) {
+	tbl, err := testEnv().Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != len(TraceNames) {
+		t.Fatalf("Fig5 has %d rows, want %d", len(tbl.Rows), len(TraceNames))
+	}
+	for i, name := range TraceNames {
+		if tbl.Rows[i][0] != name {
+			t.Errorf("row %d is %q", i, tbl.Rows[i][0])
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	e := testEnv()
+	tables, err := e.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 3 {
+		t.Fatalf("Fig6 returned %d tables", len(tables))
+	}
+	for _, tbl := range tables {
+		if len(tbl.Rows) != 5 {
+			t.Errorf("%s: %d rows, want 5 cache sizes", tbl.Title, len(tbl.Rows))
+		}
+		if len(tbl.Columns) != len(PaperPolicies)+1 {
+			t.Errorf("%s: %d columns", tbl.Title, len(tbl.Columns))
+		}
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	tbl, err := testEnv().Fig11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three clients plus the overall row.
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("Fig11 rows = %d", len(tbl.Rows))
+	}
+	if tbl.Rows[3][0] != "overall" {
+		t.Errorf("last row = %q", tbl.Rows[3][0])
+	}
+}
+
+func TestFig9And10SmallScale(t *testing.T) {
+	e := testEnv()
+	t9, err := e.Fig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(t9) != 2 {
+		t.Fatalf("Fig9 tables = %d", len(t9))
+	}
+	if got := len(t9[0].Rows); got != len(Fig9Ks)+1 {
+		t.Errorf("Fig9 rows = %d, want %d (k values + all)", got, len(Fig9Ks)+1)
+	}
+	t10, err := e.Fig10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(t10.Rows); got != len(Fig10Ts) {
+		t.Errorf("Fig10 rows = %d", got)
+	}
+}
+
+func TestAblationsAndZoo(t *testing.T) {
+	e := testEnv()
+	for name, fn := range map[string]func() (interface{ String() string }, error){
+		"r": func() (interface{ String() string }, error) { return e.AblationR() },
+		"w": func() (interface{ String() string }, error) { return e.AblationW() },
+		"o": func() (interface{ String() string }, error) { return e.AblationOutqueue() },
+	} {
+		tbl, err := fn()
+		if err != nil {
+			t.Fatalf("ablation %s: %v", name, err)
+		}
+		if tbl.String() == "" {
+			t.Errorf("ablation %s produced empty output", name)
+		}
+	}
+	zoo, err := e.PolicyZoo("MY_H98", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zoo.Rows) != 10 {
+		t.Errorf("zoo rows = %d, want 10 policies", len(zoo.Rows))
+	}
+}

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// PaperPolicies are the five policies of the paper's comparison (§6).
+var PaperPolicies = []string{"OPT", "LRU", "ARC", "TQ", "CLIC"}
+
+// Fig2 regenerates the hint-type inventory (Figure 2): the hint types and
+// value-domain cardinalities observed in the DB2 TPC-C, DB2 TPC-H, and
+// MySQL TPC-H traces.
+func (e *Env) Fig2() ([]*report.Table, error) {
+	var out []*report.Table
+	for _, name := range []string{"DB2_C60", "DB2_H80", "MY_H65"} {
+		t, err := e.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		tbl := report.NewTable(
+			fmt.Sprintf("Figure 2 — hint types in the %s trace", name),
+			"hint type", "domain cardinality", "values (sample)")
+		domains := t.Dict.Domains()
+		types := make([]string, 0, len(domains))
+		for typ := range domains {
+			types = append(types, typ)
+		}
+		sort.Strings(types)
+		for _, typ := range types {
+			vals := domains[typ]
+			sample := ""
+			for i, v := range vals {
+				if i == 4 {
+					sample += ", …"
+					break
+				}
+				if i > 0 {
+					sample += ", "
+				}
+				sample += v
+			}
+			tbl.AddRow(typ, report.Num(len(vals)), sample)
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// Fig3 regenerates the hint-set priority scatter (Figure 3): for the
+// DB2_C60 trace, each distinct hint set's whole-trace frequency N(H) and
+// caching priority Pr(H). The analysis uses CLIC's own statistics machinery
+// with a window longer than the trace, so the numbers are exactly the
+// beneﬁt/cost estimates of Equations 1–2.
+func (e *Env) Fig3() (*report.Table, error) {
+	t, err := e.Trace("DB2_C60")
+	if err != nil {
+		return nil, err
+	}
+	c := core.New(core.Config{
+		Capacity: sim.ClicCapacity(MidCacheSize),
+		Window:   t.Len() + 1, // never rotate: whole-trace statistics
+	})
+	for _, r := range t.Reqs {
+		c.Access(r)
+	}
+	stats := c.WindowStats()
+	tbl := report.NewTable(
+		"Figure 3 — hint set priorities for the DB2_C60 trace (all hint sets with non-zero priority)",
+		"hint set", "N(H)", "Nr(H)", "D(H)", "Pr(H)")
+	shown := 0
+	for _, hs := range stats {
+		if hs.Pr == 0 {
+			continue
+		}
+		shown++
+		tbl.AddRow(t.Dict.Key(hs.Hint), report.Num(hs.N), report.Num(hs.Nr),
+			fmt.Sprintf("%.0f", hs.D), report.Sci(hs.Pr))
+	}
+	tbl.AddNote("%d of %d observed hint sets have non-zero priority", shown, len(stats))
+	return tbl, nil
+}
+
+// Fig5 regenerates the trace summary table (Figure 5).
+func (e *Env) Fig5() (*report.Table, error) {
+	tbl := report.NewTable("Figure 5 — I/O request traces",
+		"trace", "kind", "DB size (pages)", "client buffer (pages)",
+		"requests", "reads", "writes", "distinct hint sets", "distinct pages")
+	for _, name := range TraceNames {
+		p, err := e.Preset(name)
+		if err != nil {
+			return nil, err
+		}
+		t, err := e.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		s := t.Stats()
+		tbl.AddRow(name, string(p.Kind), report.Num(p.DBPages), report.Num(p.ClientBuffer),
+			report.Num(s.Requests), report.Num(s.Reads), report.Num(s.Writes),
+			report.Num(s.DistinctHints), report.Num(s.DistinctPages))
+	}
+	tbl.AddNote("sizes are the paper's divided by 10; ratios (client buffer / DB, server cache / DB) match the paper")
+	return tbl, nil
+}
+
+// TraceNames lists the eight Figure-5 traces in paper order.
+var TraceNames = []string{
+	"DB2_C60", "DB2_C300", "DB2_C540",
+	"DB2_H80", "DB2_H400", "DB2_H720",
+	"MY_H65", "MY_H98",
+}
+
+// hitRatioSweep produces one hit-ratio-vs-cache-size table for a trace.
+func (e *Env) hitRatioSweep(figure, traceName string, policies []string) (*report.Table, error) {
+	t, err := e.Trace(traceName)
+	if err != nil {
+		return nil, err
+	}
+	sizes, err := e.ServerSizes(traceName)
+	if err != nil {
+		return nil, err
+	}
+	cols := append([]string{"server cache (pages)"}, policies...)
+	tbl := report.NewTable(fmt.Sprintf("%s — read hit ratio, %s trace", figure, traceName), cols...)
+	// Run per policy (each sweep reuses the policy constructor).
+	results := make(map[string][]sim.Result, len(policies))
+	for _, pol := range policies {
+		results[pol] = sim.Sweep(sim.Constructor(pol, t, e.clicConfig()), t, sizes)
+	}
+	for i, size := range sizes {
+		row := []string{report.Num(size)}
+		for _, pol := range policies {
+			row = append(row, report.Pct(results[pol][i].HitRatio()))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl, nil
+}
+
+// Fig6 regenerates the DB2 TPC-C comparison (Figure 6): read hit ratio as a
+// function of server cache size for OPT, LRU, ARC, TQ and CLIC.
+func (e *Env) Fig6() ([]*report.Table, error) {
+	return e.sweepFamily("Figure 6", []string{"DB2_C60", "DB2_C300", "DB2_C540"})
+}
+
+// Fig7 regenerates the DB2 TPC-H comparison (Figure 7).
+func (e *Env) Fig7() ([]*report.Table, error) {
+	return e.sweepFamily("Figure 7", []string{"DB2_H80", "DB2_H400", "DB2_H720"})
+}
+
+// Fig8 regenerates the MySQL TPC-H comparison (Figure 8).
+func (e *Env) Fig8() ([]*report.Table, error) {
+	return e.sweepFamily("Figure 8", []string{"MY_H65", "MY_H98"})
+}
+
+func (e *Env) sweepFamily(figure string, names []string) ([]*report.Table, error) {
+	var out []*report.Table
+	for _, name := range names {
+		tbl, err := e.hitRatioSweep(figure, name, PaperPolicies)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// Fig9Ks is the top-k sweep of Figure 9.
+var Fig9Ks = []int{1, 2, 5, 10, 20, 50, 100}
+
+// Fig9 regenerates the top-k hint filtering experiment (Figure 9): CLIC's
+// read hit ratio as a function of k, on the DB2 TPC-C and TPC-H traces with
+// a mid-size (paper: 180K-page; scaled: 18K-page) server cache. The final
+// row tracks all hint sets exactly (k = ∞).
+func (e *Env) Fig9() ([]*report.Table, error) {
+	var out []*report.Table
+	for _, family := range [][]string{
+		{"DB2_C60", "DB2_C300", "DB2_C540"},
+		{"DB2_H80", "DB2_H400", "DB2_H720"},
+	} {
+		cols := append([]string{"k"}, family...)
+		tbl := report.NewTable(
+			fmt.Sprintf("Figure 9 — top-k hint filtering, %d-page server cache", MidCacheSize), cols...)
+		rows := make(map[int][]string, len(Fig9Ks)+1)
+		for _, k := range Fig9Ks {
+			rows[k] = []string{report.Num(k)}
+		}
+		rows[0] = []string{"all"}
+		for _, name := range family {
+			t, err := e.Trace(name)
+			if err != nil {
+				return nil, err
+			}
+			for _, k := range append(append([]int{}, Fig9Ks...), 0) {
+				cfg := e.clicConfig()
+				cfg.TopK = k
+				cfg.Capacity = sim.ClicCapacity(MidCacheSize)
+				res := sim.Run(core.New(cfg), t)
+				rows[k] = append(rows[k], report.Pct(res.HitRatio()))
+			}
+		}
+		for _, k := range Fig9Ks {
+			tbl.AddRow(rows[k]...)
+		}
+		tbl.AddRow(rows[0]...)
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// Fig10Ts is the noise sweep of Figure 10.
+var Fig10Ts = []int{0, 1, 2, 3}
+
+// Fig10 regenerates the noise-hint experiment (Figure 10): T synthetic hint
+// types (domain 10, Zipf z=1) are appended to every request of the DB2
+// TPC-C traces; CLIC tracks k=100 hint sets in an 18K-page cache.
+func (e *Env) Fig10() (*report.Table, error) {
+	names := []string{"DB2_C60", "DB2_C300", "DB2_C540"}
+	cols := append([]string{"T (noise hint types)"}, names...)
+	tbl := report.NewTable(
+		fmt.Sprintf("Figure 10 — effect of noise hint types, k=100, %d-page server cache", MidCacheSize), cols...)
+	rows := make([][]string, len(Fig10Ts))
+	for i, T := range Fig10Ts {
+		rows[i] = []string{report.Num(T)}
+	}
+	for _, name := range names {
+		base, err := e.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		for i, T := range Fig10Ts {
+			noisy, err := trace.WithNoise(base, trace.DefaultNoise(T, 7700+int64(T)))
+			if err != nil {
+				return nil, err
+			}
+			cfg := e.clicConfig()
+			cfg.TopK = 100
+			cfg.Capacity = sim.ClicCapacity(MidCacheSize)
+			res := sim.Run(core.New(cfg), noisy)
+			rows[i] = append(rows[i], report.Pct(res.HitRatio()))
+		}
+	}
+	for _, row := range rows {
+		tbl.AddRow(row...)
+	}
+	return tbl, nil
+}
+
+// Fig11 regenerates the multi-client experiment (Figure 11): the DB2 TPC-C
+// traces interleaved round-robin share one 18K-page CLIC cache (k=100);
+// the comparison gives each full-length trace a private 6K-page CLIC cache
+// (an equal partition of the shared cache).
+func (e *Env) Fig11() (*report.Table, error) {
+	names := []string{"DB2_C60", "DB2_C300", "DB2_C540"}
+	traces := make([]*trace.Trace, len(names))
+	for i, name := range names {
+		t, err := e.Trace(name)
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = t
+	}
+	merged, err := trace.Interleave("TPCC_3CLIENTS", traces...)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.clicConfig()
+	cfg.TopK = 100
+	cfg.Capacity = sim.ClicCapacity(MidCacheSize)
+	shared := sim.Run(core.New(cfg), merged)
+
+	private := make([]sim.Result, len(names))
+	partition := MidCacheSize / len(names)
+	for i, t := range traces {
+		pcfg := e.clicConfig()
+		pcfg.TopK = 100
+		pcfg.Capacity = sim.ClicCapacity(partition)
+		private[i] = sim.Run(core.New(pcfg), t)
+	}
+
+	tbl := report.NewTable(
+		fmt.Sprintf("Figure 11 — three clients: %d-page shared cache vs 3 × %d-page private caches",
+			MidCacheSize, partition),
+		"trace", fmt.Sprintf("%d-page shared cache", MidCacheSize),
+		fmt.Sprintf("%d-page private cache", partition))
+	var privReads, privHits uint64
+	for i, name := range names {
+		tbl.AddRow(name, report.Pct(shared.PerClient[i].HitRatio()), report.Pct(private[i].HitRatio()))
+		privReads += private[i].Reads
+		privHits += private[i].ReadHits
+	}
+	overallPriv := 0.0
+	if privReads > 0 {
+		overallPriv = float64(privHits) / float64(privReads)
+	}
+	tbl.AddRow("overall", report.Pct(shared.HitRatio()), report.Pct(overallPriv))
+	tbl.AddNote("shared-cache column: per-client hit ratios within the interleaved trace (truncated to the shortest input)")
+	return tbl, nil
+}

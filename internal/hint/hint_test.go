@@ -1,0 +1,222 @@
+package hint
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetKey(t *testing.T) {
+	tests := []struct {
+		set  Set
+		want string
+	}{
+		{nil, ""},
+		{Make("a", "1"), "a=1"},
+		{Make("pool", "p0", "object", "o13"), "pool=p0|object=o13"},
+		{Make("reqtype", "repl-write", "prio", "3"), "reqtype=repl-write|prio=3"},
+	}
+	for _, tt := range tests {
+		if got := tt.set.Key(); got != tt.want {
+			t.Errorf("Key(%v) = %q, want %q", tt.set, got, tt.want)
+		}
+		if got := tt.set.String(); got != tt.want {
+			t.Errorf("String(%v) = %q, want %q", tt.set, got, tt.want)
+		}
+	}
+}
+
+func TestSetOrderMatters(t *testing.T) {
+	a := Make("x", "1", "y", "2")
+	b := Make("y", "2", "x", "1")
+	if a.Key() == b.Key() {
+		t.Fatalf("sets with different field order must have distinct keys: %q", a.Key())
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	sets := []Set{
+		nil,
+		Make("a", "1"),
+		Make("pool", "p0", "object", "o13", "objtype", "index", "reqtype", "read", "prio", "2"),
+		Make("thread", "t4", "reqtype", "rec-write", "file", "f8", "fix", "2"),
+	}
+	for _, s := range sets {
+		got, err := Parse(s.Key())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s.Key(), err)
+		}
+		if len(got) == 0 && len(s) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, s) {
+			t.Errorf("Parse(Key(%v)) = %v", s, got)
+		}
+	}
+}
+
+// TestParseRoundTripQuick property-tests Key/Parse inversion over random
+// well-formed sets.
+func TestParseRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6)
+		s := make(Set, 0, n)
+		for i := 0; i < n; i++ {
+			s = append(s, Field{
+				Type:  fmt.Sprintf("t%d", rng.Intn(10)),
+				Value: fmt.Sprintf("v%d", rng.Intn(10)),
+			})
+		}
+		got, err := Parse(s.Key())
+		if err != nil {
+			return false
+		}
+		if len(got) != len(s) {
+			return false
+		}
+		for i := range s {
+			if got[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"nofield", "a=1|junk", "|"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMakePanics(t *testing.T) {
+	for _, args := range [][]string{
+		{"odd"},
+		{"a=b", "c"},
+		{"a", "v|w"},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Make(%v) should panic", args)
+				}
+			}()
+			Make(args...)
+		}()
+	}
+}
+
+func TestSetHelpers(t *testing.T) {
+	s := Make("a", "1", "b", "2")
+	if v, ok := s.Value("b"); !ok || v != "2" {
+		t.Errorf("Value(b) = %q, %v", v, ok)
+	}
+	if _, ok := s.Value("missing"); ok {
+		t.Error("Value(missing) should report absence")
+	}
+	w := s.With("c", "3")
+	if w.Key() != "a=1|b=2|c=3" {
+		t.Errorf("With: %q", w.Key())
+	}
+	if s.Key() != "a=1|b=2" {
+		t.Errorf("With mutated receiver: %q", s.Key())
+	}
+	c := s.Clone()
+	c[0].Value = "changed"
+	if s[0].Value == "changed" {
+		t.Error("Clone should be deep")
+	}
+}
+
+func TestNamespace(t *testing.T) {
+	s := Make("reqtype", "read", "pool", "p1")
+	n := s.Namespace("DB2_C60")
+	if n.Key() != "DB2_C60/reqtype=read|DB2_C60/pool=p1" {
+		t.Errorf("Namespace: %q", n.Key())
+	}
+	if s.Key() != "reqtype=read|pool=p1" {
+		t.Error("Namespace mutated receiver")
+	}
+}
+
+func TestDictIntern(t *testing.T) {
+	d := NewDict()
+	a := d.Intern(Make("a", "1"))
+	b := d.Intern(Make("b", "2"))
+	if a == b {
+		t.Fatal("distinct sets must get distinct IDs")
+	}
+	if again := d.Intern(Make("a", "1")); again != a {
+		t.Errorf("re-interning returned %d, want %d", again, a)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if d.Key(a) != "a=1" {
+		t.Errorf("Key(a) = %q", d.Key(a))
+	}
+	if got := d.Set(b); got.Key() != "b=2" {
+		t.Errorf("Set(b) = %v", got)
+	}
+	if id, ok := d.Lookup(Make("a", "1")); !ok || id != a {
+		t.Errorf("Lookup = %d, %v", id, ok)
+	}
+	if _, ok := d.Lookup(Make("zz", "9")); ok {
+		t.Error("Lookup of unknown set should fail")
+	}
+}
+
+func TestDictIDsAreDense(t *testing.T) {
+	d := NewDict()
+	for i := 0; i < 100; i++ {
+		id := d.InternKey(fmt.Sprintf("k=%d", i))
+		if id != ID(i) {
+			t.Fatalf("ID %d assigned for %dth key", id, i)
+		}
+	}
+}
+
+func TestDictKeyPanicsOutOfRange(t *testing.T) {
+	d := NewDict()
+	defer func() {
+		if recover() == nil {
+			t.Error("Key(99) on empty dict should panic")
+		}
+	}()
+	d.Key(99)
+}
+
+func TestDictClone(t *testing.T) {
+	d := NewDict()
+	d.InternKey("a=1")
+	c := d.Clone()
+	c.InternKey("b=2")
+	if d.Len() != 1 || c.Len() != 2 {
+		t.Errorf("clone not independent: d=%d c=%d", d.Len(), c.Len())
+	}
+	if c.Key(0) != "a=1" {
+		t.Errorf("clone lost key 0: %q", c.Key(0))
+	}
+}
+
+func TestDictDomains(t *testing.T) {
+	d := NewDict()
+	d.Intern(Make("reqtype", "read", "pool", "p0"))
+	d.Intern(Make("reqtype", "write", "pool", "p0"))
+	d.Intern(Make("reqtype", "read", "pool", "p1"))
+	domains := d.Domains()
+	if got := domains["reqtype"]; len(got) != 2 || got[0] != "read" || got[1] != "write" {
+		t.Errorf("reqtype domain = %v", got)
+	}
+	if got := domains["pool"]; len(got) != 2 {
+		t.Errorf("pool domain = %v", got)
+	}
+}

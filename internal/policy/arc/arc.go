@@ -1,0 +1,186 @@
+// Package arc implements ARC (Adaptive Replacement Cache), Megiddo & Modha,
+// FAST '03 — the paper's strongest hint-oblivious baseline (§6). ARC
+// balances recency (T1) and frequency (T2) using ghost lists (B1, B2) to
+// adapt the target size p of T1.
+//
+// Note on accounting: as in the paper's experiments (§6.1), ARC's ghost
+// lists are extra metadata comparable to CLIC's outqueue, but ARC's cache is
+// not shrunk to compensate — the paper deliberately gives ARC a small space
+// advantage.
+package arc
+
+import (
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+type listID uint8
+
+const (
+	inT1 listID = iota
+	inT2
+	inB1
+	inB2
+)
+
+type entry struct {
+	page       uint64
+	where      listID
+	prev, next *entry
+}
+
+// list is an intrusive LRU list; head is MRU, tail is LRU.
+type list struct {
+	head, tail *entry
+	size       int
+}
+
+func (l *list) pushFront(e *entry) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+	l.size++
+}
+
+func (l *list) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.size--
+}
+
+// Cache is an ARC cache over page numbers.
+type Cache struct {
+	capacity int
+	p        int // target size of T1
+	entries  map[uint64]*entry
+	t1, t2   list // cached pages
+	b1, b2   list // ghost (history) pages
+}
+
+var _ policy.Policy = (*Cache)(nil)
+
+// New returns an ARC cache holding up to capacity pages.
+func New(capacity int) *Cache {
+	if capacity < 0 {
+		panic("arc: negative capacity")
+	}
+	return &Cache{capacity: capacity, entries: make(map[uint64]*entry, 2*capacity)}
+}
+
+// Name implements policy.Policy.
+func (c *Cache) Name() string { return "ARC" }
+
+// Len implements policy.Policy.
+func (c *Cache) Len() int { return c.t1.size + c.t2.size }
+
+// Capacity implements policy.Policy.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Access implements policy.Policy. It follows the FAST '03 pseudo-code
+// (Figure 4 of that paper) with reads and writes both treated as accesses.
+func (c *Cache) Access(r trace.Request) bool {
+	if c.capacity == 0 {
+		return false
+	}
+	x := r.Page
+	e, ok := c.entries[x]
+	if ok {
+		switch e.where {
+		case inT1, inT2:
+			// Case I: cache hit — move to MRU of T2.
+			c.listOf(e.where).remove(e)
+			e.where = inT2
+			c.t2.pushFront(e)
+			return r.Op == trace.Read
+		case inB1:
+			// Case II: ghost hit in B1 — favour recency.
+			c.p = min(c.capacity, c.p+max(c.b2.size/max(c.b1.size, 1), 1))
+			c.replace(true)
+			c.b1.remove(e)
+			e.where = inT2
+			c.t2.pushFront(e)
+			return false
+		case inB2:
+			// Case III: ghost hit in B2 — favour frequency.
+			c.p = max(0, c.p-max(c.b1.size/max(c.b2.size, 1), 1))
+			c.replace(false)
+			c.b2.remove(e)
+			e.where = inT2
+			c.t2.pushFront(e)
+			return false
+		}
+	}
+	// Case IV: complete miss.
+	l1 := c.t1.size + c.b1.size
+	total := l1 + c.t2.size + c.b2.size
+	switch {
+	case l1 == c.capacity:
+		if c.t1.size < c.capacity {
+			c.dropLRU(&c.b1)
+			c.replace(false)
+		} else {
+			// B1 is empty and T1 is full: evict from T1 without history.
+			c.dropLRU(&c.t1)
+		}
+	case l1 < c.capacity && total >= c.capacity:
+		if total == 2*c.capacity {
+			c.dropLRU(&c.b2)
+		}
+		c.replace(false)
+	}
+	e = &entry{page: x, where: inT1}
+	c.entries[x] = e
+	c.t1.pushFront(e)
+	return false
+}
+
+// replace demotes one cached page to the appropriate ghost list. fromB2Hit
+// is true when the triggering request hit in B2 (the boundary case in the
+// ARC paper's REPLACE subroutine).
+func (c *Cache) replace(fromB2Hit bool) {
+	if c.t1.size >= 1 && (c.t1.size > c.p || (fromB2Hit && c.t1.size == c.p)) {
+		v := c.t1.tail
+		c.t1.remove(v)
+		v.where = inB1
+		c.b1.pushFront(v)
+	} else if c.t2.size > 0 {
+		v := c.t2.tail
+		c.t2.remove(v)
+		v.where = inB2
+		c.b2.pushFront(v)
+	}
+}
+
+func (c *Cache) dropLRU(l *list) {
+	v := l.tail
+	l.remove(v)
+	delete(c.entries, v.page)
+}
+
+func (c *Cache) listOf(w listID) *list {
+	switch w {
+	case inT1:
+		return &c.t1
+	case inT2:
+		return &c.t2
+	case inB1:
+		return &c.b1
+	default:
+		return &c.b2
+	}
+}

@@ -1,0 +1,142 @@
+package arc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func read(page uint64) trace.Request { return trace.Request{Page: page, Op: trace.Read} }
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New(4)
+	if c.Access(read(1)) {
+		t.Error("cold miss reported as hit")
+	}
+	if !c.Access(read(1)) {
+		t.Error("re-read must hit")
+	}
+	if c.Access(trace.Request{Page: 1, Op: trace.Write}) {
+		t.Error("write hits must not count")
+	}
+}
+
+func TestFrequencyPromotion(t *testing.T) {
+	c := New(2)
+	c.Access(read(1)) // T1
+	c.Access(read(1)) // promoted to T2
+	c.Access(read(2)) // T1
+	c.Access(read(3)) // T1 full: should evict 2 (T1), keep 1 (T2)
+	if !c.Access(read(1)) {
+		t.Error("frequent page was evicted before one-shot pages")
+	}
+}
+
+func TestScanResistance(t *testing.T) {
+	c := New(8)
+	// Establish a working set with repeated accesses.
+	for round := 0; round < 3; round++ {
+		for p := uint64(0); p < 4; p++ {
+			c.Access(read(p))
+		}
+	}
+	// A long one-shot scan should not flush the whole working set.
+	for p := uint64(100); p < 200; p++ {
+		c.Access(read(p))
+	}
+	hits := 0
+	for p := uint64(0); p < 4; p++ {
+		if c.Access(read(p)) {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Error("ARC kept no frequent pages through a scan; LRU-like behaviour")
+	}
+}
+
+// TestInvariantsQuick property-tests the ARC size invariants from the
+// FAST '03 paper: |T1|+|T2| <= c, |T1|+|B1| <= c, total directory <= 2c,
+// and 0 <= p <= c.
+func TestInvariantsQuick(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := 1 + int(capRaw%16)
+		rng := rand.New(rand.NewSource(seed))
+		c := New(capacity)
+		for i := 0; i < 1000; i++ {
+			op := trace.Read
+			if rng.Intn(4) == 0 {
+				op = trace.Write
+			}
+			c.Access(trace.Request{Page: uint64(rng.Intn(60)), Op: op})
+			if c.t1.size+c.t2.size > capacity {
+				return false
+			}
+			if c.t1.size+c.b1.size > capacity {
+				return false
+			}
+			if c.t1.size+c.t2.size+c.b1.size+c.b2.size > 2*capacity {
+				return false
+			}
+			if c.p < 0 || c.p > capacity {
+				return false
+			}
+			if c.Len() != c.t1.size+c.t2.size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEntriesMapConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	c := New(8)
+	for i := 0; i < 5000; i++ {
+		c.Access(read(uint64(rng.Intn(50))))
+	}
+	count := 0
+	for range c.entries {
+		count++
+	}
+	want := c.t1.size + c.t2.size + c.b1.size + c.b2.size
+	if count != want {
+		t.Errorf("entries map has %d, lists have %d", count, want)
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 10; i++ {
+		if c.Access(read(1)) {
+			t.Fatal("zero-capacity hit")
+		}
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+func BenchmarkAccess(b *testing.B) {
+	c := New(1024)
+	rng := rand.New(rand.NewSource(1))
+	pages := make([]uint64, 8192)
+	for i := range pages {
+		pages[i] = uint64(rng.Intn(4096))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(trace.Request{Page: pages[i%len(pages)], Op: trace.Read})
+	}
+}

@@ -1,0 +1,80 @@
+// Package clock implements the CLOCK (second-chance) approximation of LRU,
+// included as an ablation baseline from the related-work family.
+package clock
+
+import (
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+type frame struct {
+	page uint64
+	ref  bool
+	used bool
+}
+
+// Cache is a CLOCK cache over page numbers.
+type Cache struct {
+	capacity int
+	frames   []frame
+	index    map[uint64]int
+	hand     int
+	size     int
+}
+
+var _ policy.Policy = (*Cache)(nil)
+
+// New returns a CLOCK cache holding up to capacity pages.
+func New(capacity int) *Cache {
+	if capacity < 0 {
+		panic("clock: negative capacity")
+	}
+	return &Cache{
+		capacity: capacity,
+		frames:   make([]frame, capacity),
+		index:    make(map[uint64]int, capacity),
+	}
+}
+
+// Name implements policy.Policy.
+func (c *Cache) Name() string { return "CLOCK" }
+
+// Len implements policy.Policy.
+func (c *Cache) Len() int { return c.size }
+
+// Capacity implements policy.Policy.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Access implements policy.Policy.
+func (c *Cache) Access(r trace.Request) bool {
+	if i, ok := c.index[r.Page]; ok {
+		c.frames[i].ref = true
+		return r.Op == trace.Read
+	}
+	if c.capacity == 0 {
+		return false
+	}
+	slot := c.findSlot()
+	if c.frames[slot].used {
+		delete(c.index, c.frames[slot].page)
+		c.size--
+	}
+	c.frames[slot] = frame{page: r.Page, ref: true, used: true}
+	c.index[r.Page] = slot
+	c.size++
+	return false
+}
+
+// findSlot advances the hand, clearing reference bits, until it lands on an
+// unused frame or a frame with a clear reference bit.
+func (c *Cache) findSlot() int {
+	for {
+		f := &c.frames[c.hand]
+		slot := c.hand
+		c.hand = (c.hand + 1) % c.capacity
+		if !f.used || !f.ref {
+			return slot
+		}
+		f.ref = false
+	}
+}

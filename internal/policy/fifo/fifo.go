@@ -1,0 +1,65 @@
+// Package fifo implements first-in-first-out replacement, the simplest
+// baseline used by the ablation benches.
+package fifo
+
+import (
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// Cache is a FIFO cache over page numbers.
+type Cache struct {
+	capacity int
+	pages    map[uint64]struct{}
+	order    []uint64 // ring buffer of insertion order
+	headIdx  int
+	size     int
+}
+
+var _ policy.Policy = (*Cache)(nil)
+
+// New returns a FIFO cache holding up to capacity pages.
+func New(capacity int) *Cache {
+	if capacity < 0 {
+		panic("fifo: negative capacity")
+	}
+	return &Cache{
+		capacity: capacity,
+		pages:    make(map[uint64]struct{}, capacity),
+		order:    make([]uint64, capacity),
+	}
+}
+
+// Name implements policy.Policy.
+func (c *Cache) Name() string { return "FIFO" }
+
+// Len implements policy.Policy.
+func (c *Cache) Len() int { return len(c.pages) }
+
+// Capacity implements policy.Policy.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Access implements policy.Policy.
+func (c *Cache) Access(r trace.Request) bool {
+	if _, ok := c.pages[r.Page]; ok {
+		return r.Op == trace.Read
+	}
+	if c.capacity == 0 {
+		return false
+	}
+	for c.size >= c.capacity {
+		victim := c.order[c.headIdx]
+		c.headIdx = (c.headIdx + 1) % c.capacity
+		c.size--
+		// The ring can contain stale entries for pages re-inserted after
+		// eviction; only drop the page if this slot is its live entry.
+		if _, ok := c.pages[victim]; ok {
+			delete(c.pages, victim)
+		}
+	}
+	c.pages[r.Page] = struct{}{}
+	tail := (c.headIdx + c.size) % c.capacity
+	c.order[tail] = r.Page
+	c.size++
+	return false
+}

@@ -1,0 +1,66 @@
+package fifo
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func read(p uint64) trace.Request { return trace.Request{Page: p, Op: trace.Read} }
+
+func TestHitsDoNotReorder(t *testing.T) {
+	c := New(3)
+	c.Access(read(1))
+	c.Access(read(2))
+	c.Access(read(3))
+	for i := 0; i < 5; i++ {
+		c.Access(read(1)) // hits must not protect 1 in FIFO
+	}
+	c.Access(read(4)) // evicts 1 regardless of its hits
+	if c.Access(read(1)) {
+		t.Error("FIFO retained a page because of hits")
+	}
+}
+
+func TestReinsertionGetsFreshSlot(t *testing.T) {
+	c := New(2)
+	c.Access(read(1))
+	c.Access(read(2))
+	c.Access(read(3)) // evicts 1
+	c.Access(read(1)) // evicts 2; 1 re-enters at the tail
+	if !c.Access(read(3)) {
+		t.Error("page 3 should still be cached")
+	}
+	if !c.Access(read(1)) {
+		t.Error("re-inserted page 1 should be cached")
+	}
+}
+
+// TestRingMapAgreement property-tests that the ring window and the page map
+// always describe the same set.
+func TestRingMapAgreement(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := 1 + int(capRaw%10)
+		rng := rand.New(rand.NewSource(seed))
+		c := New(capacity)
+		for i := 0; i < 600; i++ {
+			c.Access(read(uint64(rng.Intn(25))))
+			if c.Len() > capacity || c.size != len(c.pages) {
+				return false
+			}
+			// Every ring slot in the live window must be a cached page.
+			for j := 0; j < c.size; j++ {
+				p := c.order[(c.headIdx+j)%c.capacity]
+				if _, ok := c.pages[p]; !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

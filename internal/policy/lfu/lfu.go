@@ -1,0 +1,95 @@
+// Package lfu implements in-cache least-frequently-used replacement with
+// FIFO tie-breaking, an ablation baseline representing pure frequency-based
+// policies. Frequency counts are per residency: they reset when a page is
+// evicted, which is the classic in-cache LFU variant.
+package lfu
+
+import (
+	"container/heap"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+type entry struct {
+	page    uint64
+	freq    uint64
+	seq     uint64 // insertion sequence, breaks frequency ties FIFO
+	heapIdx int
+}
+
+type entryHeap []*entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].seq < h[j].seq
+}
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].heapIdx = i
+	h[j].heapIdx = j
+}
+func (h *entryHeap) Push(x any) {
+	e := x.(*entry)
+	e.heapIdx = len(*h)
+	*h = append(*h, e)
+}
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Cache is an LFU cache over page numbers.
+type Cache struct {
+	capacity int
+	pages    map[uint64]*entry
+	heap     entryHeap
+	seq      uint64
+}
+
+var _ policy.Policy = (*Cache)(nil)
+
+// New returns an LFU cache holding up to capacity pages.
+func New(capacity int) *Cache {
+	if capacity < 0 {
+		panic("lfu: negative capacity")
+	}
+	return &Cache{capacity: capacity, pages: make(map[uint64]*entry, capacity)}
+}
+
+// Name implements policy.Policy.
+func (c *Cache) Name() string { return "LFU" }
+
+// Len implements policy.Policy.
+func (c *Cache) Len() int { return len(c.pages) }
+
+// Capacity implements policy.Policy.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Access implements policy.Policy.
+func (c *Cache) Access(r trace.Request) bool {
+	c.seq++
+	if e, ok := c.pages[r.Page]; ok {
+		e.freq++
+		heap.Fix(&c.heap, e.heapIdx)
+		return r.Op == trace.Read
+	}
+	if c.capacity == 0 {
+		return false
+	}
+	if len(c.pages) >= c.capacity {
+		v := heap.Pop(&c.heap).(*entry)
+		delete(c.pages, v.page)
+	}
+	e := &entry{page: r.Page, freq: 1, seq: c.seq}
+	c.pages[r.Page] = e
+	heap.Push(&c.heap, e)
+	return false
+}

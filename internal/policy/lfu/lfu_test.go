@@ -1,0 +1,60 @@
+package lfu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func read(p uint64) trace.Request { return trace.Request{Page: p, Op: trace.Read} }
+
+func TestFrequencyTieBreaksFIFO(t *testing.T) {
+	c := New(2)
+	c.Access(read(1)) // freq 1, older
+	c.Access(read(2)) // freq 1, newer
+	c.Access(read(3)) // tie on freq: evict 1 (inserted first)
+	if c.Access(read(1)) {
+		t.Error("expected page 1 (older insertion) to be the victim")
+	}
+}
+
+func TestFrequencyResetsOnEviction(t *testing.T) {
+	c := New(2)
+	for i := 0; i < 10; i++ {
+		c.Access(read(1))
+	}
+	c.Access(read(2))
+	c.Access(read(3)) // evicts 2 (freq 1)
+	c.Access(read(2)) // evicts 3; 2 returns with freq 1, not freq 2
+	c.Access(read(4)) // tie between 2 (freq 1) and ... 3 gone; victim must not be 1
+	if !c.Access(read(1)) {
+		t.Error("high-frequency page 1 evicted")
+	}
+}
+
+// TestHeapMapAgreement property-tests heap/map consistency and the
+// capacity bound.
+func TestHeapMapAgreement(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := 1 + int(capRaw%10)
+		rng := rand.New(rand.NewSource(seed))
+		c := New(capacity)
+		for i := 0; i < 600; i++ {
+			c.Access(read(uint64(rng.Intn(25))))
+			if c.Len() > capacity || len(c.heap) != len(c.pages) {
+				return false
+			}
+			for j, e := range c.heap {
+				if e.heapIdx != j || c.pages[e.page] != e {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Package lru implements least-recently-used replacement, the classic
+// recency-based baseline. The paper expects it to do poorly at the second
+// tier, where the client cache has absorbed most temporal locality (§1, §6).
+package lru
+
+import (
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+type entry struct {
+	page       uint64
+	prev, next *entry
+}
+
+// Cache is an LRU cache over page numbers. Both reads and writes refresh
+// recency; misses (read or write) insert the page, evicting the LRU page.
+type Cache struct {
+	capacity int
+	pages    map[uint64]*entry
+	head     *entry // most recently used
+	tail     *entry // least recently used
+}
+
+var _ policy.Policy = (*Cache)(nil)
+
+// New returns an LRU cache holding up to capacity pages.
+func New(capacity int) *Cache {
+	if capacity < 0 {
+		panic("lru: negative capacity")
+	}
+	return &Cache{capacity: capacity, pages: make(map[uint64]*entry, capacity)}
+}
+
+// Name implements policy.Policy.
+func (c *Cache) Name() string { return "LRU" }
+
+// Len implements policy.Policy.
+func (c *Cache) Len() int { return len(c.pages) }
+
+// Capacity implements policy.Policy.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Access implements policy.Policy.
+func (c *Cache) Access(r trace.Request) bool {
+	if e, ok := c.pages[r.Page]; ok {
+		c.moveToFront(e)
+		return r.Op == trace.Read
+	}
+	if c.capacity == 0 {
+		return false
+	}
+	if len(c.pages) >= c.capacity {
+		c.evict()
+	}
+	e := &entry{page: r.Page}
+	c.pages[r.Page] = e
+	c.pushFront(e)
+	return false
+}
+
+// Contains reports whether the page is cached, without touching recency.
+func (c *Cache) Contains(page uint64) bool {
+	_, ok := c.pages[page]
+	return ok
+}
+
+func (c *Cache) evict() {
+	v := c.tail
+	c.remove(v)
+	delete(c.pages, v.page)
+}
+
+func (c *Cache) pushFront(e *entry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *Cache) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *Cache) moveToFront(e *entry) {
+	if c.head == e {
+		return
+	}
+	c.remove(e)
+	c.pushFront(e)
+}

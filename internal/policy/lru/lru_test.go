@@ -1,0 +1,147 @@
+package lru
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func read(page uint64) trace.Request  { return trace.Request{Page: page, Op: trace.Read} }
+func write(page uint64) trace.Request { return trace.Request{Page: page, Op: trace.Write} }
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New(2)
+	if c.Access(read(1)) {
+		t.Error("first access cannot hit")
+	}
+	if !c.Access(read(1)) {
+		t.Error("second read of cached page must hit")
+	}
+	if c.Access(write(1)) {
+		t.Error("writes never count as hits")
+	}
+}
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	c := New(2)
+	c.Access(read(1))
+	c.Access(read(2))
+	c.Access(read(1)) // 2 is now LRU
+	c.Access(read(3)) // evicts 2
+	if !c.Contains(1) || c.Contains(2) || !c.Contains(3) {
+		t.Errorf("cache contents wrong: 1=%v 2=%v 3=%v",
+			c.Contains(1), c.Contains(2), c.Contains(3))
+	}
+}
+
+func TestWritesRefreshRecency(t *testing.T) {
+	c := New(2)
+	c.Access(read(1))
+	c.Access(read(2))
+	c.Access(write(1)) // refreshes 1; 2 becomes LRU
+	c.Access(read(3))
+	if !c.Contains(1) || c.Contains(2) {
+		t.Error("write did not refresh recency")
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	c := New(0)
+	for i := 0; i < 10; i++ {
+		if c.Access(read(uint64(i % 2))) {
+			t.Fatal("zero-capacity cache cannot hit")
+		}
+	}
+	if c.Len() != 0 {
+		t.Errorf("Len = %d", c.Len())
+	}
+}
+
+func TestNameAndCapacity(t *testing.T) {
+	c := New(7)
+	if c.Name() != "LRU" || c.Capacity() != 7 {
+		t.Errorf("Name=%q Capacity=%d", c.Name(), c.Capacity())
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New(-1) should panic")
+		}
+	}()
+	New(-1)
+}
+
+// TestCapacityInvariantQuick property-tests that Len never exceeds capacity
+// under random access sequences.
+func TestCapacityInvariantQuick(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := int(capRaw % 20)
+		rng := rand.New(rand.NewSource(seed))
+		c := New(capacity)
+		for i := 0; i < 500; i++ {
+			op := trace.Read
+			if rng.Intn(2) == 0 {
+				op = trace.Write
+			}
+			c.Access(trace.Request{Page: uint64(rng.Intn(40)), Op: op})
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMatchesReferenceLRU property-tests this implementation against a
+// simple slice-based reference model.
+func TestMatchesReferenceLRU(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		capacity := 1 + rng.Intn(8)
+		c := New(capacity)
+		var ref []uint64 // front = MRU
+		for i := 0; i < 400; i++ {
+			p := uint64(rng.Intn(15))
+			gotHit := c.Access(read(p))
+			wantHit := false
+			for j, q := range ref {
+				if q == p {
+					wantHit = true
+					ref = append(ref[:j], ref[j+1:]...)
+					break
+				}
+			}
+			ref = append([]uint64{p}, ref...)
+			if len(ref) > capacity {
+				ref = ref[:capacity]
+			}
+			if gotHit != wantHit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	c := New(1024)
+	rng := rand.New(rand.NewSource(1))
+	pages := make([]uint64, 8192)
+	for i := range pages {
+		pages[i] = uint64(rng.Intn(4096))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(trace.Request{Page: pages[i%len(pages)], Op: trace.Read})
+	}
+}

@@ -1,0 +1,177 @@
+// Package mq implements the Multi-Queue (MQ) replacement policy of Zhou,
+// Chen & Li (IEEE TPDS '04), which was designed specifically for second-tier
+// buffer caches (§7): m LRU queues partitioned by reference frequency, a
+// per-page expiration time that demotes pages that stop being referenced,
+// and a ghost buffer Qout remembering access counts of evicted pages.
+package mq
+
+import (
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+const numQueues = 8
+
+type entry struct {
+	page       uint64
+	freq       uint64
+	queue      int // 0..numQueues-1, or -1 when in Qout
+	expire     uint64
+	prev, next *entry
+}
+
+type list struct {
+	head, tail *entry
+	size       int
+}
+
+func (l *list) pushFront(e *entry) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+	l.size++
+}
+
+func (l *list) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.size--
+}
+
+// Cache is an MQ cache over page numbers.
+type Cache struct {
+	capacity int
+	lifeTime uint64 // queue residency time before demotion
+	queues   [numQueues]list
+	qout     list // ghost entries (bounded by capacity)
+	entries  map[uint64]*entry
+	cached   int
+	now      uint64
+}
+
+var _ policy.Policy = (*Cache)(nil)
+
+// New returns an MQ cache holding up to capacity pages. The lifeTime is set
+// to the capacity, a common setting standing in for the peak temporal
+// distance estimate the MQ paper computes online.
+func New(capacity int) *Cache {
+	if capacity < 0 {
+		panic("mq: negative capacity")
+	}
+	lt := uint64(capacity)
+	if lt == 0 {
+		lt = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		lifeTime: lt,
+		entries:  make(map[uint64]*entry, 2*capacity),
+	}
+}
+
+// Name implements policy.Policy.
+func (c *Cache) Name() string { return "MQ" }
+
+// Len implements policy.Policy.
+func (c *Cache) Len() int { return c.cached }
+
+// Capacity implements policy.Policy.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// queueFor maps an access count to a queue index: floor(log2(freq)),
+// saturating at the top queue.
+func queueFor(freq uint64) int {
+	q := 0
+	for f := freq; f > 1 && q < numQueues-1; f >>= 1 {
+		q++
+	}
+	return q
+}
+
+// Access implements policy.Policy.
+func (c *Cache) Access(r trace.Request) bool {
+	if c.capacity == 0 {
+		return false
+	}
+	c.now++
+	c.adjust()
+	x := r.Page
+	if e, ok := c.entries[x]; ok && e.queue >= 0 {
+		// Cache hit: bump frequency, maybe move up a queue.
+		c.queues[e.queue].remove(e)
+		e.freq++
+		e.queue = queueFor(e.freq)
+		e.expire = c.now + c.lifeTime
+		c.queues[e.queue].pushFront(e)
+		return r.Op == trace.Read
+	}
+	// Miss. Remembered frequency from Qout, if any.
+	freq := uint64(0)
+	if e, ok := c.entries[x]; ok {
+		freq = e.freq
+		c.qout.remove(e)
+		delete(c.entries, x)
+	}
+	if c.cached >= c.capacity {
+		c.evict()
+	}
+	e := &entry{page: x, freq: freq + 1}
+	e.queue = queueFor(e.freq)
+	e.expire = c.now + c.lifeTime
+	c.entries[x] = e
+	c.queues[e.queue].pushFront(e)
+	c.cached++
+	return false
+}
+
+// adjust demotes the LRU page of each queue whose expiration time passed,
+// implementing MQ's lifetime mechanism.
+func (c *Cache) adjust() {
+	for q := 1; q < numQueues; q++ {
+		l := &c.queues[q]
+		if l.tail != nil && l.tail.expire < c.now {
+			e := l.tail
+			l.remove(e)
+			e.queue = q - 1
+			e.expire = c.now + c.lifeTime
+			c.queues[q-1].pushFront(e)
+		}
+	}
+}
+
+// evict removes the LRU page of the lowest non-empty queue, remembering its
+// access count in Qout.
+func (c *Cache) evict() {
+	for q := 0; q < numQueues; q++ {
+		l := &c.queues[q]
+		if l.tail == nil {
+			continue
+		}
+		v := l.tail
+		l.remove(v)
+		c.cached--
+		v.queue = -1
+		c.qout.pushFront(v)
+		if c.qout.size > c.capacity {
+			g := c.qout.tail
+			c.qout.remove(g)
+			delete(c.entries, g.page)
+		}
+		return
+	}
+}

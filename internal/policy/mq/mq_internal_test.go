@@ -1,0 +1,70 @@
+package mq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func read(p uint64) trace.Request { return trace.Request{Page: p, Op: trace.Read} }
+
+func TestQueueForLog2(t *testing.T) {
+	cases := map[uint64]int{
+		1: 0, 2: 1, 3: 1, 4: 2, 7: 2, 8: 3, 255: 7, 1 << 20: numQueues - 1,
+	}
+	for freq, want := range cases {
+		if got := queueFor(freq); got != want {
+			t.Errorf("queueFor(%d) = %d, want %d", freq, got, want)
+		}
+	}
+}
+
+func TestLifetimeDemotion(t *testing.T) {
+	c := New(4)
+	// Push a page into a high queue.
+	for i := 0; i < 8; i++ {
+		c.Access(read(1))
+	}
+	hi := c.entries[1].queue
+	if hi < 2 {
+		t.Fatalf("page in queue %d after 8 accesses", hi)
+	}
+	// Let its lifetime expire with unrelated traffic.
+	for i := 0; i < 3*c.capacity; i++ {
+		c.Access(read(uint64(100 + i%3)))
+	}
+	if e, ok := c.entries[1]; ok && e.queue >= 0 && e.queue >= hi {
+		t.Errorf("page never demoted from queue %d (now %d)", hi, e.queue)
+	}
+}
+
+// TestAccounting property-tests cached-count and ghost bounds.
+func TestAccounting(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := 1 + int(capRaw%12)
+		rng := rand.New(rand.NewSource(seed))
+		c := New(capacity)
+		for i := 0; i < 900; i++ {
+			c.Access(read(uint64(rng.Intn(40))))
+			sum := 0
+			for q := range c.queues {
+				sum += c.queues[q].size
+			}
+			if sum != c.cached || sum > capacity {
+				return false
+			}
+			if c.qout.size > capacity {
+				return false
+			}
+			if len(c.entries) != sum+c.qout.size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

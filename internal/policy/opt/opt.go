@@ -1,0 +1,152 @@
+// Package opt implements the optimal off-line MIN algorithm (Belady, 1966)
+// as the paper uses it (§6): "it replaces the cached page that will not be
+// read for the longest time", so write re-references do not count as reuse.
+// The policy is allowed to bypass the cache — not caching a page is
+// equivalent to caching it and evicting it immediately, and bypassing the
+// farthest-read page is exactly what MIN's eviction rule chooses — so the
+// resulting read hit ratio upper-bounds every on-line policy in this
+// repository.
+//
+// OPT requires the whole request sequence in advance; it implements
+// policy.Preparer and the simulator calls Prepare before the run.
+package opt
+
+import (
+	"container/heap"
+	"math"
+
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// Cache is the off-line MIN policy.
+type Cache struct {
+	capacity int
+	nextRead []int64 // per request index: index of next read of same page
+	pos      int     // index of the next request to be processed
+	cached   map[uint64]int64
+	h        victimHeap // lazy max-heap of (page, nextRead) candidates
+}
+
+var (
+	_ policy.Policy   = (*Cache)(nil)
+	_ policy.Preparer = (*Cache)(nil)
+)
+
+const never = int64(math.MaxInt64)
+
+// New returns a MIN cache holding up to capacity pages. Prepare must be
+// called with the full trace before the first Access.
+func New(capacity int) *Cache {
+	if capacity < 0 {
+		panic("opt: negative capacity")
+	}
+	return &Cache{capacity: capacity, cached: make(map[uint64]int64, capacity)}
+}
+
+// Name implements policy.Policy.
+func (c *Cache) Name() string { return "OPT" }
+
+// Len implements policy.Policy.
+func (c *Cache) Len() int { return len(c.cached) }
+
+// Capacity implements policy.Policy.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Prepare computes, for every request index i, the index of the next read
+// of the same page strictly after i (or "never"). One backward pass.
+func (c *Cache) Prepare(reqs []trace.Request) {
+	c.nextRead = make([]int64, len(reqs))
+	lastRead := make(map[uint64]int64, 1<<16)
+	for i := len(reqs) - 1; i >= 0; i-- {
+		p := reqs[i].Page
+		if nr, ok := lastRead[p]; ok {
+			c.nextRead[i] = nr
+		} else {
+			c.nextRead[i] = never
+		}
+		if reqs[i].Op == trace.Read {
+			lastRead[p] = int64(i)
+		}
+	}
+	c.pos = 0
+}
+
+// Access implements policy.Policy. Requests must be fed in exactly the
+// order given to Prepare.
+func (c *Cache) Access(r trace.Request) bool {
+	if c.nextRead == nil || c.pos >= len(c.nextRead) {
+		panic("opt: Access without matching Prepare")
+	}
+	i := c.pos
+	c.pos++
+	next := c.nextRead[i]
+	p := r.Page
+
+	if _, ok := c.cached[p]; ok {
+		c.cached[p] = next
+		// Push even when next == never: such pages must surface at the top
+		// of the max-heap so they are the first victims, not unevictable
+		// residents.
+		heap.Push(&c.h, victim{page: p, next: next})
+		return r.Op == trace.Read
+	}
+	if c.capacity == 0 || next == never {
+		// Never read again: caching cannot produce a future read hit.
+		return false
+	}
+	if len(c.cached) < c.capacity {
+		c.cached[p] = next
+		heap.Push(&c.h, victim{page: p, next: next})
+		return false
+	}
+	// Full: find the cached page with the farthest next read, skipping
+	// stale heap entries.
+	for len(c.h) > 0 {
+		top := c.h[0]
+		cur, ok := c.cached[top.page]
+		if !ok || cur != top.next {
+			heap.Pop(&c.h) // stale
+			continue
+		}
+		if top.next <= next {
+			// Every cached page is read sooner than the incoming page:
+			// bypass (equivalent to caching and immediately evicting it).
+			return false
+		}
+		heap.Pop(&c.h)
+		delete(c.cached, top.page)
+		c.cached[p] = next
+		heap.Push(&c.h, victim{page: p, next: next})
+		return false
+	}
+	// Heap exhausted (all cached pages have no future reads — possible only
+	// transiently): evict arbitrarily by replacing one map entry.
+	for old := range c.cached {
+		delete(c.cached, old)
+		break
+	}
+	c.cached[p] = next
+	heap.Push(&c.h, victim{page: p, next: next})
+	return false
+}
+
+type victim struct {
+	page uint64
+	next int64
+}
+
+// victimHeap is a max-heap by next read position.
+type victimHeap []victim
+
+func (h victimHeap) Len() int           { return len(h) }
+func (h victimHeap) Less(i, j int) bool { return h[i].next > h[j].next }
+func (h victimHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *victimHeap) Push(x any)        { *h = append(*h, x.(victim)) }
+func (h *victimHeap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

@@ -1,0 +1,223 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/policy/lru"
+	"repro/internal/trace"
+)
+
+func randomTrace(seed int64, n, pages int, writeFrac float64) []trace.Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		op := trace.Read
+		if rng.Float64() < writeFrac {
+			op = trace.Write
+		}
+		reqs[i] = trace.Request{Page: uint64(rng.Intn(pages)), Op: op}
+	}
+	return reqs
+}
+
+func runOPT(capacity int, reqs []trace.Request) int {
+	c := New(capacity)
+	c.Prepare(reqs)
+	hits := 0
+	for _, r := range reqs {
+		if c.Access(r) {
+			hits++
+		}
+	}
+	return hits
+}
+
+// slowOPT is a brute-force Belady MIN used as a reference model.
+type slowOPT struct {
+	capacity int
+	nextRead []int64
+	pos      int
+	cached   map[uint64]int64
+}
+
+func (s *slowOPT) prepare(reqs []trace.Request) {
+	s.cached = make(map[uint64]int64)
+	s.nextRead = make([]int64, len(reqs))
+	last := map[uint64]int64{}
+	for i := len(reqs) - 1; i >= 0; i-- {
+		if nr, ok := last[reqs[i].Page]; ok {
+			s.nextRead[i] = nr
+		} else {
+			s.nextRead[i] = math.MaxInt64
+		}
+		if reqs[i].Op == trace.Read {
+			last[reqs[i].Page] = int64(i)
+		}
+	}
+}
+
+func (s *slowOPT) access(r trace.Request) bool {
+	i := s.pos
+	s.pos++
+	next := s.nextRead[i]
+	if _, ok := s.cached[r.Page]; ok {
+		s.cached[r.Page] = next
+		return r.Op == trace.Read
+	}
+	if s.capacity == 0 || next == math.MaxInt64 {
+		return false
+	}
+	if len(s.cached) < s.capacity {
+		s.cached[r.Page] = next
+		return false
+	}
+	var vp uint64
+	vn := int64(-1)
+	for p, n := range s.cached {
+		if n > vn {
+			vn, vp = n, p
+		}
+	}
+	if vn <= next {
+		return false
+	}
+	delete(s.cached, vp)
+	s.cached[r.Page] = next
+	return false
+}
+
+func TestKnownSequence(t *testing.T) {
+	// Belady's classic example: with capacity 2 and sequence
+	// 1 2 3 1 2, caching 1 and 2 (bypassing 3) yields 2 hits.
+	reqs := []trace.Request{
+		{Page: 1, Op: trace.Read},
+		{Page: 2, Op: trace.Read},
+		{Page: 3, Op: trace.Read},
+		{Page: 1, Op: trace.Read},
+		{Page: 2, Op: trace.Read},
+	}
+	if hits := runOPT(2, reqs); hits != 2 {
+		t.Errorf("hits = %d, want 2", hits)
+	}
+}
+
+func TestWriteReReferenceNotAHit(t *testing.T) {
+	// A page whose only future request is a write gives no caching benefit;
+	// OPT must prefer pages with future reads.
+	reqs := []trace.Request{
+		{Page: 1, Op: trace.Read},
+		{Page: 2, Op: trace.Read},
+		{Page: 1, Op: trace.Write},
+		{Page: 2, Op: trace.Read},
+	}
+	// Capacity 1: the only hit available is the read of 2 at the end.
+	if hits := runOPT(1, reqs); hits != 1 {
+		t.Errorf("hits = %d, want 1", hits)
+	}
+}
+
+// TestMatchesBruteForceQuick property-tests the heap implementation against
+// the brute-force reference on random traces.
+func TestMatchesBruteForceQuick(t *testing.T) {
+	f := func(seed int64, capRaw, pagesRaw uint8) bool {
+		capacity := int(capRaw % 12)
+		pages := 1 + int(pagesRaw%40)
+		reqs := randomTrace(seed, 600, pages, 0.4)
+		fast := runOPT(capacity, reqs)
+		slow := &slowOPT{capacity: capacity}
+		slow.prepare(reqs)
+		slowHits := 0
+		for _, r := range reqs {
+			if slow.access(r) {
+				slowHits++
+			}
+		}
+		return fast == slowHits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDominatesLRUQuick property-tests OPT's optimality against LRU.
+func TestDominatesLRUQuick(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := int(capRaw % 16)
+		reqs := randomTrace(seed, 800, 30, 0.3)
+		optHits := runOPT(capacity, reqs)
+		l := lru.New(capacity)
+		lruHits := 0
+		for _, r := range reqs {
+			if l.Access(r) {
+				lruHits++
+			}
+		}
+		return optHits >= lruHits
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNoZombiePages is a regression test: pages whose next read becomes
+// "never" while cached must remain evictable. Before the fix, such pages
+// permanently occupied the cache, and OPT's hit count plateaued on long
+// write-heavy traces.
+func TestNoZombiePages(t *testing.T) {
+	var reqs []trace.Request
+	// Phase 1: pages 1, 2 are read twice each (they get cached, and after
+	// their last read their next read is "never").
+	for _, p := range []uint64{1, 2, 1, 2} {
+		reqs = append(reqs, trace.Request{Page: p, Op: trace.Read})
+	}
+	// Phase 2: pages 3, 4 are each read twice. With capacity 2, OPT must
+	// evict the dead pages 1 and 2 to hit on 3 and 4.
+	for _, p := range []uint64{3, 4, 3, 4} {
+		reqs = append(reqs, trace.Request{Page: p, Op: trace.Read})
+	}
+	if hits := runOPT(2, reqs); hits != 4 {
+		t.Errorf("hits = %d, want 4 (zombie pages blocked eviction)", hits)
+	}
+}
+
+func TestNeverReadPagesBypassed(t *testing.T) {
+	c := New(4)
+	reqs := []trace.Request{
+		{Page: 1, Op: trace.Write},
+		{Page: 2, Op: trace.Read},
+		{Page: 2, Op: trace.Read},
+	}
+	c.Prepare(reqs)
+	c.Access(reqs[0])
+	if c.Len() != 0 {
+		t.Error("page with no future read was cached")
+	}
+}
+
+func TestAccessWithoutPreparePanics(t *testing.T) {
+	c := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("Access without Prepare should panic")
+		}
+	}()
+	c.Access(trace.Request{Page: 1, Op: trace.Read})
+}
+
+func TestZeroCapacity(t *testing.T) {
+	reqs := randomTrace(1, 100, 5, 0.2)
+	if hits := runOPT(0, reqs); hits != 0 {
+		t.Errorf("zero capacity produced %d hits", hits)
+	}
+}
+
+func BenchmarkAccess(b *testing.B) {
+	reqs := randomTrace(1, 100000, 4096, 0.3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOPT(1024, reqs)
+	}
+}

@@ -1,0 +1,36 @@
+// Package policy defines the storage-server cache replacement policy
+// interface shared by CLIC and every baseline the paper compares against
+// (OPT, LRU, ARC, TQ — §6), plus the extra hint-oblivious policies from the
+// related-work section (2Q, MQ, CLOCK, FIFO, LFU) used by the ablation
+// benches.
+package policy
+
+import "repro/internal/trace"
+
+// Policy is a server cache replacement policy driven one request at a time.
+// Implementations are not safe for concurrent use; the simulator is
+// single-threaded so runs are deterministic.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Access offers one request to the cache and reports whether it was a
+	// read hit. Write requests never count as hits (the paper's metric is
+	// the read hit ratio, §6), but they update cache state: every request,
+	// read or write, is a caching opportunity (§3).
+	Access(r trace.Request) bool
+	// Len returns the number of pages currently cached.
+	Len() int
+	// Capacity returns the maximum number of cached pages.
+	Capacity() int
+}
+
+// Preparer is implemented by offline policies (OPT) that must see the whole
+// request sequence before simulation starts. The simulator calls Prepare
+// exactly once, with the full trace, before the first Access.
+type Preparer interface {
+	Prepare(reqs []trace.Request)
+}
+
+// Constructor builds a policy instance for a given capacity. The simulator's
+// sweep helpers work in terms of constructors.
+type Constructor func(capacity int) Policy

@@ -1,0 +1,168 @@
+package tq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hint"
+	"repro/internal/trace"
+)
+
+// testDict builds a dictionary with the standard write-hint vocabulary and
+// returns it with the interned IDs.
+func testDict() (d *hint.Dict, read, repl, rec, sync hint.ID) {
+	d = hint.NewDict()
+	read = d.Intern(hint.Make("reqtype", "read"))
+	repl = d.Intern(hint.Make("reqtype", "repl-write"))
+	rec = d.Intern(hint.Make("reqtype", "rec-write"))
+	sync = d.Intern(hint.Make("reqtype", "sync-write"))
+	return
+}
+
+func TestClassifierFromDict(t *testing.T) {
+	d, read, repl, rec, sync := testDict()
+	other := d.Intern(hint.Make("pool", "p0"))
+	cl := ClassifierFromDict(d)
+	cases := []struct {
+		h    hint.ID
+		op   trace.Op
+		want Class
+	}{
+		{read, trace.Read, ClassNormal},
+		{repl, trace.Write, ClassReplacement},
+		{sync, trace.Write, ClassReplacement},
+		{rec, trace.Write, ClassRecovery},
+		{other, trace.Read, ClassNormal},
+	}
+	for _, tc := range cases {
+		if got := cl(trace.Request{Hint: tc.h, Op: tc.op}); got != tc.want {
+			t.Errorf("classify(%s) = %d, want %d", d.Key(tc.h), got, tc.want)
+		}
+	}
+}
+
+func TestClassifierNamespacedTypes(t *testing.T) {
+	d := hint.NewDict()
+	id := d.Intern(hint.Make("DB2_C60/reqtype", "repl-write"))
+	cl := ClassifierFromDict(d)
+	if got := cl(trace.Request{Hint: id, Op: trace.Write}); got != ClassReplacement {
+		t.Errorf("namespaced reqtype classified as %d", got)
+	}
+}
+
+func TestRecoveryWritesNotAdmitted(t *testing.T) {
+	d, _, _, rec, _ := testDict()
+	c := New(4, ClassifierFromDict(d))
+	c.Access(trace.Request{Page: 1, Hint: rec, Op: trace.Write})
+	if c.Len() != 0 {
+		t.Error("recovery write was admitted")
+	}
+}
+
+func TestReplacementWritesAdmitted(t *testing.T) {
+	d, read, repl, _, _ := testDict()
+	c := New(4, ClassifierFromDict(d))
+	c.Access(trace.Request{Page: 1, Hint: repl, Op: trace.Write})
+	if c.Len() != 1 {
+		t.Fatal("replacement write not admitted")
+	}
+	if !c.Access(trace.Request{Page: 1, Hint: read, Op: trace.Read}) {
+		t.Error("read of replacement-written page should hit")
+	}
+}
+
+func TestRecoveryWriteLeavesStandingUntouched(t *testing.T) {
+	d, read, _, rec, _ := testDict()
+	c := New(2, ClassifierFromDict(d))
+	c.Access(trace.Request{Page: 1, Hint: read, Op: trace.Read})
+	c.Access(trace.Request{Page: 2, Hint: read, Op: trace.Read})
+	// Recovery write to 1 must not refresh it; 1 stays LRU.
+	c.Access(trace.Request{Page: 1, Hint: rec, Op: trace.Write})
+	c.Access(trace.Request{Page: 3, Hint: read, Op: trace.Read}) // evicts RQ LRU
+	if c.Access(trace.Request{Page: 1, Hint: read, Op: trace.Read}) {
+		t.Error("page 1 should have been evicted (rec-write must not refresh)")
+	}
+}
+
+func TestAdaptationGrowsWriteQueue(t *testing.T) {
+	d, read, repl, _, _ := testDict()
+	c := New(4, ClassifierFromDict(d))
+	before := c.WTarget()
+	// Fill the cache, then cause WQ ghost hits: write pages, force their
+	// eviction with reads, then re-read them.
+	for p := uint64(0); p < 4; p++ {
+		c.Access(trace.Request{Page: p, Hint: repl, Op: trace.Write})
+	}
+	for p := uint64(100); p < 110; p++ {
+		c.Access(trace.Request{Page: p, Hint: read, Op: trace.Read})
+	}
+	for p := uint64(0); p < 4; p++ {
+		c.Access(trace.Request{Page: p, Hint: read, Op: trace.Read})
+	}
+	if c.WTarget() <= before {
+		t.Errorf("WTarget did not grow after write-ghost hits: %d -> %d", before, c.WTarget())
+	}
+}
+
+// TestInvariantsQuick property-tests the cache and ghost bounds.
+func TestInvariantsQuick(t *testing.T) {
+	d, read, repl, rec, sync := testDict()
+	hints := []hint.ID{read, repl, rec, sync}
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := 1 + int(capRaw%12)
+		rng := rand.New(rand.NewSource(seed))
+		c := New(capacity, ClassifierFromDict(d))
+		for i := 0; i < 1000; i++ {
+			h := hints[rng.Intn(len(hints))]
+			op := trace.Write
+			if h == read {
+				op = trace.Read
+			}
+			c.Access(trace.Request{Page: uint64(rng.Intn(50)), Hint: h, Op: op})
+			if c.Len() > capacity {
+				return false
+			}
+			if c.gw.size > capacity || c.gr.size > capacity {
+				return false
+			}
+			if c.WTarget() < 0 || c.WTarget() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	d, read, _, _, _ := testDict()
+	c := New(0, ClassifierFromDict(d))
+	for i := 0; i < 5; i++ {
+		if c.Access(trace.Request{Page: 1, Hint: read, Op: trace.Read}) {
+			t.Fatal("zero-capacity hit")
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	d, _, _, _, _ := testDict()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative capacity should panic")
+			}
+		}()
+		New(-1, ClassifierFromDict(d))
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil classifier should panic")
+			}
+		}()
+		New(1, nil)
+	}()
+}

@@ -1,0 +1,171 @@
+// Package twoq implements the 2Q replacement policy (Johnson & Shasha,
+// VLDB '94), a related-work baseline (§7): a FIFO probation queue A1in, a
+// ghost queue A1out, and a main LRU queue Am. Pages prove reuse by being
+// re-referenced while in A1out before earning a slot in Am.
+package twoq
+
+import (
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+type where uint8
+
+const (
+	inA1in where = iota
+	inA1out
+	inAm
+)
+
+type entry struct {
+	page       uint64
+	where      where
+	prev, next *entry
+}
+
+type list struct {
+	head, tail *entry
+	size       int
+}
+
+func (l *list) pushFront(e *entry) {
+	e.prev = nil
+	e.next = l.head
+	if l.head != nil {
+		l.head.prev = e
+	}
+	l.head = e
+	if l.tail == nil {
+		l.tail = e
+	}
+	l.size++
+}
+
+func (l *list) remove(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		l.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+	l.size--
+}
+
+// Cache is a 2Q cache over page numbers.
+type Cache struct {
+	capacity int
+	kin      int // max A1in size (cached)
+	kout     int // max A1out size (ghosts)
+	entries  map[uint64]*entry
+	a1in     list
+	a1out    list
+	am       list
+}
+
+var _ policy.Policy = (*Cache)(nil)
+
+// New returns a 2Q cache holding up to capacity pages, with the
+// recommended tuning Kin = capacity/4 and Kout = capacity/2.
+func New(capacity int) *Cache {
+	if capacity < 0 {
+		panic("twoq: negative capacity")
+	}
+	kin := capacity / 4
+	if kin < 1 && capacity > 0 {
+		kin = 1
+	}
+	kout := capacity / 2
+	if kout < 1 && capacity > 0 {
+		kout = 1
+	}
+	return &Cache{
+		capacity: capacity,
+		kin:      kin,
+		kout:     kout,
+		entries:  make(map[uint64]*entry, 2*capacity),
+	}
+}
+
+// Name implements policy.Policy.
+func (c *Cache) Name() string { return "2Q" }
+
+// Len implements policy.Policy.
+func (c *Cache) Len() int { return c.a1in.size + c.am.size }
+
+// Capacity implements policy.Policy.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Access implements policy.Policy.
+func (c *Cache) Access(r trace.Request) bool {
+	if c.capacity == 0 {
+		return false
+	}
+	x := r.Page
+	if e, ok := c.entries[x]; ok {
+		switch e.where {
+		case inAm:
+			c.am.remove(e)
+			c.am.pushFront(e)
+			return r.Op == trace.Read
+		case inA1in:
+			// 2Q leaves A1in hits in place: correlated references do not
+			// earn promotion.
+			return r.Op == trace.Read
+		case inA1out:
+			// Reuse after probation: promote to Am. Unlink from the ghost
+			// list first — makeRoom may trim A1out, and it must not be able
+			// to trim the entry being promoted.
+			c.a1out.remove(e)
+			c.makeRoom()
+			e.where = inAm
+			c.am.pushFront(e)
+			return false
+		}
+	}
+	c.makeRoom()
+	e := &entry{page: x, where: inA1in}
+	c.entries[x] = e
+	c.a1in.pushFront(e)
+	return false
+}
+
+// makeRoom frees one cached slot if the cache is full, per the 2Q
+// reclamation rule: overflow A1in into A1out first, otherwise evict from Am.
+func (c *Cache) makeRoom() {
+	if c.a1in.size+c.am.size < c.capacity {
+		return
+	}
+	if c.a1in.size > c.kin && c.a1in.size > 0 {
+		v := c.a1in.tail
+		c.a1in.remove(v)
+		v.where = inA1out
+		c.a1out.pushFront(v)
+		if c.a1out.size > c.kout {
+			g := c.a1out.tail
+			c.a1out.remove(g)
+			delete(c.entries, g.page)
+		}
+		return
+	}
+	if c.am.size > 0 {
+		v := c.am.tail
+		c.am.remove(v)
+		delete(c.entries, v.page)
+		return
+	}
+	// Am is empty: evict from A1in regardless of Kin.
+	v := c.a1in.tail
+	c.a1in.remove(v)
+	v.where = inA1out
+	c.a1out.pushFront(v)
+	if c.a1out.size > c.kout {
+		g := c.a1out.tail
+		c.a1out.remove(g)
+		delete(c.entries, g.page)
+	}
+}

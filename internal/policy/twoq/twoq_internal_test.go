@@ -1,0 +1,60 @@
+package twoq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func read(p uint64) trace.Request { return trace.Request{Page: p, Op: trace.Read} }
+
+func TestTuningDefaults(t *testing.T) {
+	c := New(100)
+	if c.kin != 25 || c.kout != 50 {
+		t.Errorf("kin=%d kout=%d, want 25, 50", c.kin, c.kout)
+	}
+	small := New(2)
+	if small.kin < 1 || small.kout < 1 {
+		t.Errorf("tiny cache tuning degenerate: kin=%d kout=%d", small.kin, small.kout)
+	}
+}
+
+func TestA1inHitsDoNotPromote(t *testing.T) {
+	c := New(8)
+	c.Access(read(1))
+	if e := c.entries[1]; e.where != inA1in {
+		t.Fatalf("fresh page in %v, want A1in", e.where)
+	}
+	c.Access(read(1)) // correlated reference: stays in A1in
+	if e := c.entries[1]; e.where != inA1in {
+		t.Errorf("A1in hit promoted the page to %v", e.where)
+	}
+}
+
+// TestListAccounting property-tests that the entries map always equals the
+// union of the four lists and the ghost bound holds.
+func TestListAccounting(t *testing.T) {
+	f := func(seed int64, capRaw uint8) bool {
+		capacity := 2 + int(capRaw%14)
+		rng := rand.New(rand.NewSource(seed))
+		c := New(capacity)
+		for i := 0; i < 900; i++ {
+			c.Access(read(uint64(rng.Intn(50))))
+			if len(c.entries) != c.a1in.size+c.am.size+c.a1out.size {
+				return false
+			}
+			if c.a1out.size > c.kout {
+				return false
+			}
+			if c.Len() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,82 @@
+// Package randx provides the deterministic random-number utilities shared by
+// the workload generators and the noise-hint injector: a seeded PRNG
+// constructor and a bounded Zipf sampler that supports skew parameters
+// z <= 1 (which math/rand's Zipf does not).
+package randx
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// New returns a rand.Rand seeded deterministically from seed. All
+// randomness in this repository flows through explicit seeds so that traces
+// and experiments are reproducible bit-for-bit.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Zipf samples integers in [0, n) with P(i) proportional to 1/(i+1)^s.
+// Unlike math/rand.Zipf it accepts any s >= 0 (s=0 is uniform, s=1 is the
+// classic harmonic distribution used by the paper's noise-hint experiment,
+// §6.3). Sampling is O(log n) by binary search over the precomputed CDF.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a sampler over [0, n) with exponent s, drawing randomness
+// from rng. It panics if n <= 0 or s < 0.
+func NewZipf(rng *rand.Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("randx: Zipf domain must be positive")
+	}
+	if s < 0 {
+		panic("randx: Zipf exponent must be non-negative")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1.0 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// N returns the domain size.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next draws one sample.
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the probability of value i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// NURand implements the TPC-C non-uniform random function
+// NURand(A, x, y) = (((rand(0,A) | rand(x,y)) + C) % (y-x+1)) + x,
+// used to pick customers and items with realistic skew.
+func NURand(rng *rand.Rand, a, x, y, c int) int {
+	r1 := rng.Intn(a + 1)
+	r2 := x + rng.Intn(y-x+1)
+	return ((r1|r2)+c)%(y-x+1) + x
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n).
+func Perm(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}

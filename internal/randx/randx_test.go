@@ -1,0 +1,128 @@
+package randx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfBounds(t *testing.T) {
+	rng := New(1)
+	z := NewZipf(rng, 50, 1)
+	if z.N() != 50 {
+		t.Fatalf("N = %d", z.N())
+	}
+	for i := 0; i < 10000; i++ {
+		v := z.Next()
+		if v < 0 || v >= 50 {
+			t.Fatalf("sample %d out of [0,50)", v)
+		}
+	}
+}
+
+func TestZipfProbabilitiesSumToOne(t *testing.T) {
+	for _, s := range []float64{0, 0.5, 1, 2} {
+		z := NewZipf(New(1), 100, s)
+		sum := 0.0
+		for i := 0; i < 100; i++ {
+			sum += z.Prob(i)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("s=%v: probabilities sum to %v", s, sum)
+		}
+	}
+	if z := NewZipf(New(1), 10, 1); z.Prob(-1) != 0 || z.Prob(10) != 0 {
+		t.Error("out-of-range Prob should be 0")
+	}
+}
+
+func TestZipfMonotone(t *testing.T) {
+	z := NewZipf(New(1), 100, 1)
+	for i := 1; i < 100; i++ {
+		if z.Prob(i) > z.Prob(i-1)+1e-15 {
+			t.Fatalf("Prob(%d)=%v > Prob(%d)=%v", i, z.Prob(i), i-1, z.Prob(i-1))
+		}
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	z := NewZipf(New(1), 10, 0)
+	for i := 0; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-9 {
+			t.Fatalf("s=0 Prob(%d) = %v, want 0.1", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfSkewEmpirical(t *testing.T) {
+	z := NewZipf(New(42), 100, 1)
+	counts := make([]int, 100)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	// With z=1 over 100 values, value 0 has probability 1/H(100) ≈ 0.193.
+	p0 := float64(counts[0]) / n
+	if p0 < 0.17 || p0 > 0.22 {
+		t.Errorf("empirical P(0) = %v, want ≈ 0.193", p0)
+	}
+	// The top 10 values should dominate: P ≈ H(10)/H(100) ≈ 0.565.
+	top := 0
+	for i := 0; i < 10; i++ {
+		top += counts[i]
+	}
+	if frac := float64(top) / n; frac < 0.52 || frac > 0.61 {
+		t.Errorf("empirical P(top 10) = %v, want ≈ 0.565", frac)
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n int
+		s float64
+	}{{0, 1}, {-3, 1}, {10, -0.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(n=%d, s=%v) should panic", tc.n, tc.s)
+				}
+			}()
+			NewZipf(New(1), tc.n, tc.s)
+		}()
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, b := NewZipf(New(7), 1000, 1), NewZipf(New(7), 1000, 1)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed must give identical streams")
+		}
+	}
+}
+
+// TestNURandQuick property-tests that NURand stays within its range.
+func TestNURandQuick(t *testing.T) {
+	rng := New(3)
+	f := func(aRaw, xRaw, spanRaw uint16) bool {
+		a := int(aRaw % 1024)
+		x := int(xRaw % 1000)
+		y := x + int(spanRaw%5000)
+		v := NURand(rng, a, x, y, 42)
+		return v >= x && v <= y
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerm(t *testing.T) {
+	p := Perm(New(1), 20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("bad permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Demo", "name", "value")
+	tbl.AddRow("alpha", "1")
+	tbl.AddRow("beta-longer", "22")
+	tbl.AddNote("a note %d", 7)
+	out := tbl.String()
+	if !strings.Contains(out, "Demo\n====") {
+		t.Errorf("missing title underline:\n%s", out)
+	}
+	for _, want := range []string{"name", "value", "alpha", "beta-longer", "note: a note 7"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Columns align: every data line has the value column at the same
+	// offset as the header's.
+	lines := strings.Split(out, "\n")
+	var headerIdx int
+	for i, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			headerIdx = i
+			break
+		}
+	}
+	col := strings.Index(lines[headerIdx], "value")
+	if got := strings.Index(lines[headerIdx+2], "1"); got != col {
+		t.Errorf("column misaligned: header at %d, cell at %d\n%s", col, got, out)
+	}
+}
+
+func TestAddRowPadding(t *testing.T) {
+	tbl := NewTable("t", "a", "b", "c")
+	tbl.AddRow("only")
+	tbl.AddRow("x", "y", "z", "extra-dropped")
+	if len(tbl.Rows[0]) != 3 || len(tbl.Rows[1]) != 3 {
+		t.Errorf("rows not normalised: %v", tbl.Rows)
+	}
+	if tbl.Rows[1][2] != "z" {
+		t.Errorf("cell content wrong: %v", tbl.Rows[1])
+	}
+}
+
+func TestMarkdown(t *testing.T) {
+	tbl := NewTable("Figure X", "k", "v")
+	tbl.AddRow("a", "1")
+	tbl.AddNote("scaled 10x")
+	md := tbl.Markdown()
+	for _, want := range []string{"### Figure X", "| k | v |", "| --- | --- |", "| a | 1 |", "*scaled 10x*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestPct(t *testing.T) {
+	if got := Pct(0.4567); got != "45.7%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Pct(0); got != "0.0%" {
+		t.Errorf("Pct(0) = %q", got)
+	}
+	if got := Pct(1); got != "100.0%" {
+		t.Errorf("Pct(1) = %q", got)
+	}
+}
+
+func TestNum(t *testing.T) {
+	cases := map[int]string{
+		0:        "0",
+		12:       "12",
+		123:      "123",
+		1234:     "1,234",
+		1234567:  "1,234,567",
+		-9876543: "-9,876,543",
+	}
+	for in, want := range cases {
+		if got := Num(in); got != want {
+			t.Errorf("Num(%d) = %q, want %q", in, got, want)
+		}
+	}
+	if got := Num(uint64(1000)); got != "1,000" {
+		t.Errorf("Num(uint64) = %q", got)
+	}
+}
+
+func TestSci(t *testing.T) {
+	if got := Sci(0); got != "0" {
+		t.Errorf("Sci(0) = %q", got)
+	}
+	if got := Sci(1.234e-5); got != "1.23e-05" {
+		t.Errorf("Sci = %q", got)
+	}
+}

@@ -1,0 +1,192 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hint"
+	"repro/internal/trace"
+)
+
+func smallTrace() *trace.Trace {
+	t := trace.New("small", 4096)
+	h := t.Dict.Intern(hint.Make("reqtype", "read"))
+	w := t.Dict.Intern(hint.Make("reqtype", "repl-write"))
+	// Pages 1 and 2 alternate; page 3 appears once.
+	seq := []trace.Request{
+		{Page: 1, Hint: h, Op: trace.Read},
+		{Page: 2, Hint: w, Op: trace.Write},
+		{Page: 1, Hint: h, Op: trace.Read},
+		{Page: 3, Hint: h, Op: trace.Read},
+		{Page: 2, Hint: h, Op: trace.Read},
+		{Page: 1, Hint: h, Op: trace.Read},
+	}
+	t.Reqs = seq
+	return t
+}
+
+func TestRunCounts(t *testing.T) {
+	tr := smallTrace()
+	p, err := NewPolicy("LRU", 4, tr, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(p, tr)
+	if res.Requests != 6 || res.Reads != 5 {
+		t.Fatalf("Requests=%d Reads=%d", res.Requests, res.Reads)
+	}
+	// LRU with room for everything: hits are re-reads of 1 (twice) and the
+	// read of 2 after its write.
+	if res.ReadHits != 3 {
+		t.Errorf("ReadHits = %d, want 3", res.ReadHits)
+	}
+	if res.HitRatio() != 0.6 {
+		t.Errorf("HitRatio = %v", res.HitRatio())
+	}
+	if res.Trace != "small" || res.Policy != "LRU" || res.CacheSize != 4 {
+		t.Errorf("metadata: %+v", res)
+	}
+}
+
+func TestRunPerClient(t *testing.T) {
+	a := smallTrace()
+	a.Name = "A"
+	b := smallTrace()
+	b.Name = "B"
+	m, err := trace.Interleave("M", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, _ := NewPolicy("LRU", 16, m, core.Config{})
+	res := Run(p, m)
+	if len(res.PerClient) != 2 {
+		t.Fatalf("PerClient = %d entries", len(res.PerClient))
+	}
+	if res.PerClient[0].Name != "A" || res.PerClient[1].Name != "B" {
+		t.Errorf("client names: %+v", res.PerClient)
+	}
+	var sumReads, sumHits uint64
+	for _, cs := range res.PerClient {
+		sumReads += cs.Reads
+		sumHits += cs.ReadHits
+	}
+	if sumReads != res.Reads || sumHits != res.ReadHits {
+		t.Errorf("per-client totals %d/%d != overall %d/%d", sumHits, sumReads, res.ReadHits, res.Reads)
+	}
+}
+
+func TestHitRatioZeroReads(t *testing.T) {
+	var r Result
+	if r.HitRatio() != 0 {
+		t.Error("zero reads should give zero ratio")
+	}
+	var c ClientStat
+	if c.HitRatio() != 0 {
+		t.Error("zero reads should give zero client ratio")
+	}
+}
+
+func TestClicCapacity(t *testing.T) {
+	if got := ClicCapacity(18000); got != 17820 {
+		t.Errorf("ClicCapacity(18000) = %d, want 17820", got)
+	}
+	if got := ClicCapacity(50); got != 50 {
+		t.Errorf("ClicCapacity(50) = %d, want 50 (sub-1%% rounds to zero)", got)
+	}
+}
+
+func TestNewPolicyAllNames(t *testing.T) {
+	tr := smallTrace()
+	for _, name := range PolicyNames {
+		p, err := NewPolicy(name, 8, tr, core.Config{Window: 4})
+		if err != nil {
+			t.Fatalf("NewPolicy(%s): %v", name, err)
+		}
+		res := Run(p, tr)
+		if res.Requests != uint64(tr.Len()) {
+			t.Errorf("%s processed %d requests", name, res.Requests)
+		}
+	}
+	if _, err := NewPolicy("BOGUS", 8, tr, core.Config{}); err == nil {
+		t.Error("unknown policy should error")
+	}
+}
+
+func TestCLICGetsReducedCapacity(t *testing.T) {
+	tr := smallTrace()
+	p, err := NewPolicy("CLIC", 1000, tr, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Capacity() != 990 {
+		t.Errorf("CLIC capacity = %d, want 990 (1%% space accounting)", p.Capacity())
+	}
+	o, _ := NewPolicy("LRU", 1000, tr, core.Config{})
+	if o.Capacity() != 1000 {
+		t.Errorf("LRU capacity = %d, want 1000", o.Capacity())
+	}
+}
+
+func TestSweep(t *testing.T) {
+	tr := smallTrace()
+	results := Sweep(Constructor("LRU", tr, core.Config{}), tr, []int{1, 2, 4})
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	for i, size := range []int{1, 2, 4} {
+		if results[i].CacheSize != size {
+			t.Errorf("result %d size = %d", i, results[i].CacheSize)
+		}
+	}
+	// Hit ratio must be monotone in cache size for LRU on this trace.
+	for i := 1; i < len(results); i++ {
+		if results[i].HitRatio() < results[i-1].HitRatio() {
+			t.Errorf("hit ratio not monotone: %v", results)
+		}
+	}
+}
+
+func TestConstructorPanicsOnBadName(t *testing.T) {
+	tr := smallTrace()
+	defer func() {
+		if recover() == nil {
+			t.Error("Constructor with bad name should panic at build time")
+		}
+	}()
+	Constructor("BOGUS", tr, core.Config{})(4)
+}
+
+// TestOPTDominatesAll cross-checks OPT's optimality against every policy
+// in the factory on a moderately sized random-ish trace.
+func TestOPTDominatesAll(t *testing.T) {
+	tr := trace.New("x", 4096)
+	h := tr.Dict.Intern(hint.Make("reqtype", "read"))
+	w := tr.Dict.Intern(hint.Make("reqtype", "repl-write"))
+	// Deterministic mixed workload.
+	for i := 0; i < 5000; i++ {
+		page := uint64((i*i + i/3) % 97)
+		op := trace.Read
+		hh := h
+		if i%4 == 3 {
+			op = trace.Write
+			hh = w
+		}
+		tr.Reqs = append(tr.Reqs, trace.Request{Page: page, Hint: hh, Op: op})
+	}
+	for _, cap := range []int{5, 20, 60} {
+		optPolicy, _ := NewPolicy("OPT", cap, tr, core.Config{})
+		optHits := Run(optPolicy, tr).ReadHits
+		for _, name := range PolicyNames {
+			if name == "OPT" {
+				continue
+			}
+			p, err := NewPolicy(name, cap, tr, core.Config{Window: 500})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hits := Run(p, tr).ReadHits; hits > optHits {
+				t.Errorf("cap %d: %s (%d hits) beat OPT (%d hits)", cap, name, hits, optHits)
+			}
+		}
+	}
+}

@@ -1,0 +1,210 @@
+// Package spacesaving implements the Space-Saving frequent-item algorithm of
+// Metwally, Agrawal and El Abbadi (ICDT '05) with the stream-summary data
+// structure, giving O(1) updates.
+//
+// CLIC uses Space-Saving to bound the space needed to track hint-set
+// statistics (paper §5): given a budget of k counters, the summary tracks at
+// most k keys at once, replacing the key with the minimum count when a new
+// key arrives and the summary is full. Each counter carries an
+// application-defined auxiliary value V that is reset whenever the counter
+// is recycled for a new key — CLIC stores its Nr and re-reference-distance
+// accumulators there, so those statistics only cover the span during which
+// the hint set was tracked, exactly as §5 prescribes.
+package spacesaving
+
+// Counter tracks one key. Count is the (over-)estimate of the key's
+// frequency; Err bounds the over-estimation, so Count-Err is a guaranteed
+// lower bound on the true frequency (the paper uses Count-Err as N(H)).
+type Counter[K comparable, V any] struct {
+	Key   K
+	Count uint64
+	Err   uint64
+	// Val is application state attached to the tracked key. It is zeroed
+	// whenever this counter is reassigned to a new key.
+	Val V
+
+	bucket     *bucket[K, V]
+	prev, next *Counter[K, V] // siblings within the same bucket
+}
+
+// Guaranteed reports whether the key is guaranteed to have true frequency
+// equal to Count (no over-estimation possible).
+func (c *Counter[K, V]) Guaranteed() bool { return c.Err == 0 }
+
+// bucket groups all counters that share the same count, and lives in a
+// doubly-linked list of buckets in strictly ascending count order.
+type bucket[K comparable, V any] struct {
+	count      uint64
+	head       *Counter[K, V] // any counter in this bucket
+	prev, next *bucket[K, V]
+}
+
+// Summary is a Space-Saving stream summary with capacity for k counters.
+// The zero value is not usable; call New. Not safe for concurrent use.
+type Summary[K comparable, V any] struct {
+	k        int
+	counters map[K]*Counter[K, V]
+	min      *bucket[K, V] // bucket list head (minimum count); nil when empty
+	observed uint64        // total number of Touch calls since last Reset
+}
+
+// New returns a summary that tracks at most k keys. It panics if k <= 0.
+func New[K comparable, V any](k int) *Summary[K, V] {
+	if k <= 0 {
+		panic("spacesaving: k must be positive")
+	}
+	return &Summary[K, V]{k: k, counters: make(map[K]*Counter[K, V], k)}
+}
+
+// K returns the counter capacity.
+func (s *Summary[K, V]) K() int { return s.k }
+
+// Len returns the number of keys currently tracked.
+func (s *Summary[K, V]) Len() int { return len(s.counters) }
+
+// Observed returns the number of Touch calls since construction or Reset.
+func (s *Summary[K, V]) Observed() uint64 { return s.observed }
+
+// Touch records one occurrence of key. It returns the counter now tracking
+// the key and, when tracking it required evicting another key, that key and
+// replaced=true. The returned counter's Val has been zeroed if the counter
+// was newly assigned (fresh or recycled).
+func (s *Summary[K, V]) Touch(key K) (c *Counter[K, V], replacedKey K, replaced bool) {
+	s.observed++
+	if c, ok := s.counters[key]; ok {
+		s.increment(c)
+		return c, replacedKey, false
+	}
+	if len(s.counters) < s.k {
+		c := &Counter[K, V]{Key: key}
+		s.counters[key] = c
+		s.insertWithCount(c, 0)
+		s.increment(c)
+		return c, replacedKey, false
+	}
+	// Full: recycle a counter from the minimum bucket.
+	c = s.min.head
+	replacedKey = c.Key
+	replaced = true
+	delete(s.counters, c.Key)
+	c.Key = key
+	c.Err = c.count()
+	var zero V
+	c.Val = zero
+	s.counters[key] = c
+	s.increment(c)
+	return c, replacedKey, replaced
+}
+
+// Get returns the counter for key if it is currently tracked.
+func (s *Summary[K, V]) Get(key K) (*Counter[K, V], bool) {
+	c, ok := s.counters[key]
+	return c, ok
+}
+
+// Counters returns all tracked counters in descending count order.
+func (s *Summary[K, V]) Counters() []*Counter[K, V] {
+	out := make([]*Counter[K, V], 0, len(s.counters))
+	// Find the maximum bucket by walking from min; bucket count is small in
+	// the worst case equal to number of distinct counts <= k.
+	var last *bucket[K, V]
+	for b := s.min; b != nil; b = b.next {
+		last = b
+	}
+	for b := last; b != nil; b = b.prev {
+		for c := b.head; c != nil; c = c.next {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Reset discards all counters and statistics, returning the summary to its
+// freshly-constructed state. CLIC resets the summary at every request-window
+// boundary (paper §5).
+func (s *Summary[K, V]) Reset() {
+	s.counters = make(map[K]*Counter[K, V], s.k)
+	s.min = nil
+	s.observed = 0
+}
+
+func (c *Counter[K, V]) count() uint64 {
+	if c.bucket == nil {
+		return 0
+	}
+	return c.bucket.count
+}
+
+// increment moves c from its bucket to the bucket with count+1, creating
+// and pruning buckets as needed. All operations are O(1).
+func (s *Summary[K, V]) increment(c *Counter[K, V]) {
+	old := c.bucket
+	newCount := old.count + 1
+	// Find or create the destination bucket, which if it exists is old.next.
+	dst := old.next
+	if dst == nil || dst.count != newCount {
+		nb := &bucket[K, V]{count: newCount, prev: old, next: old.next}
+		if old.next != nil {
+			old.next.prev = nb
+		}
+		old.next = nb
+		dst = nb
+	}
+	s.detach(c)
+	s.attach(c, dst)
+	c.Count = newCount
+	if old.head == nil {
+		s.removeBucket(old)
+	}
+}
+
+// insertWithCount places a fresh counter into the bucket for the given
+// count (creating the bucket at the front if needed). Used only with
+// count 0 for new counters; increment immediately moves them to 1.
+func (s *Summary[K, V]) insertWithCount(c *Counter[K, V], count uint64) {
+	b := s.min
+	if b == nil || b.count != count {
+		nb := &bucket[K, V]{count: count, next: s.min}
+		if s.min != nil {
+			s.min.prev = nb
+		}
+		s.min = nb
+		b = nb
+	}
+	s.attach(c, b)
+	c.Count = count
+}
+
+func (s *Summary[K, V]) attach(c *Counter[K, V], b *bucket[K, V]) {
+	c.bucket = b
+	c.prev = nil
+	c.next = b.head
+	if b.head != nil {
+		b.head.prev = c
+	}
+	b.head = c
+}
+
+func (s *Summary[K, V]) detach(c *Counter[K, V]) {
+	b := c.bucket
+	if c.prev != nil {
+		c.prev.next = c.next
+	} else {
+		b.head = c.next
+	}
+	if c.next != nil {
+		c.next.prev = c.prev
+	}
+	c.prev, c.next, c.bucket = nil, nil, nil
+}
+
+func (s *Summary[K, V]) removeBucket(b *bucket[K, V]) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		s.min = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	}
+}

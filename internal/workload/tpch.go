@@ -1,0 +1,300 @@
+package workload
+
+import (
+	"math/rand"
+
+	"repro/internal/dbsim"
+	"repro/internal/randx"
+	"repro/internal/trace"
+)
+
+// tpch runs a TPC-H-like decision-support stream: 22 query templates built
+// from sequential scans (prefetch reads), index-nested-loop probes, and
+// temp-area spills (writes followed by re-reads), plus the two refresh
+// functions for the DB2 flavour (§6: the MySQL workload omitted the
+// refreshes and skipped Q18).
+type tpch struct {
+	c     *dbsim.Client
+	db    *dbsim.Database
+	rng   *rand.Rand
+	mysql bool
+
+	lineitem, orders, partsupp, part     *dbsim.Object
+	customer, supplier, nation, region   *dbsim.Object
+	temp, catalog                        *dbsim.Object
+	liIdx, oIdx, psIdx, pIdx, cIdx, sIdx *dbsim.Object
+
+	spillPtr int
+	queryNo  int
+}
+
+// tpchScan is a sequential scan over a leading fraction of a table.
+type tpchScan struct {
+	obj  string
+	frac float64
+}
+
+// tpchProbe is an index-nested-loop join leg: n probes into inner via its
+// index, each reading fanout consecutive inner pages.
+type tpchProbe struct {
+	inner  string
+	n      int
+	fanout int
+}
+
+// tpchQuery is one query template.
+type tpchQuery struct {
+	name   string
+	scans  []tpchScan
+	probes []tpchProbe
+	spill  int // temp pages written and then re-read
+}
+
+// queries is the 22-template mix. Fractions and probe counts are chosen to
+// reflect each query's dominant access pattern (LINEITEM-heavy scans,
+// selective index joins, and sort/aggregation spills).
+var tpchQueries = []tpchQuery{
+	{name: "Q1", scans: []tpchScan{{"LINEITEM", 0.98}}, spill: 320},
+	{name: "Q2", scans: []tpchScan{{"PART", 0.30}, {"SUPPLIER", 1.0}, {"NATION", 1.0}, {"REGION", 1.0}}, probes: []tpchProbe{{"PARTSUPP", 300, 1}}, spill: 80},
+	{name: "Q3", scans: []tpchScan{{"CUSTOMER", 0.50}}, probes: []tpchProbe{{"ORDERS", 400, 1}, {"LINEITEM", 400, 2}}, spill: 240},
+	{name: "Q4", scans: []tpchScan{{"ORDERS", 0.60}}, probes: []tpchProbe{{"LINEITEM", 500, 2}}, spill: 160},
+	{name: "Q5", scans: []tpchScan{{"CUSTOMER", 0.60}, {"SUPPLIER", 1.0}, {"NATION", 1.0}, {"REGION", 1.0}}, probes: []tpchProbe{{"ORDERS", 300, 1}, {"LINEITEM", 300, 2}}, spill: 200},
+	{name: "Q6", scans: []tpchScan{{"LINEITEM", 0.90}}, spill: 40},
+	{name: "Q7", scans: []tpchScan{{"SUPPLIER", 1.0}, {"CUSTOMER", 0.40}, {"NATION", 1.0}}, probes: []tpchProbe{{"LINEITEM", 400, 3}, {"ORDERS", 300, 1}}, spill: 240},
+	{name: "Q8", scans: []tpchScan{{"PART", 0.25}, {"CUSTOMER", 0.30}, {"NATION", 1.0}, {"REGION", 1.0}}, probes: []tpchProbe{{"LINEITEM", 350, 2}, {"ORDERS", 200, 1}}, spill: 160},
+	{name: "Q9", scans: []tpchScan{{"PART", 0.40}}, probes: []tpchProbe{{"PARTSUPP", 400, 1}, {"LINEITEM", 400, 2}, {"ORDERS", 250, 1}}, spill: 320},
+	{name: "Q10", scans: []tpchScan{{"ORDERS", 0.40}}, probes: []tpchProbe{{"LINEITEM", 400, 2}, {"CUSTOMER", 300, 1}}, spill: 240},
+	{name: "Q11", scans: []tpchScan{{"PARTSUPP", 0.90}, {"SUPPLIER", 1.0}}, spill: 120},
+	{name: "Q12", scans: []tpchScan{{"LINEITEM", 0.85}}, probes: []tpchProbe{{"ORDERS", 300, 1}}, spill: 80},
+	{name: "Q13", scans: []tpchScan{{"CUSTOMER", 0.90}}, probes: []tpchProbe{{"ORDERS", 500, 1}}, spill: 200},
+	{name: "Q14", scans: []tpchScan{{"LINEITEM", 0.50}}, probes: []tpchProbe{{"PART", 300, 1}}, spill: 40},
+	{name: "Q15", scans: []tpchScan{{"LINEITEM", 0.70}, {"SUPPLIER", 1.0}}, spill: 80},
+	{name: "Q16", scans: []tpchScan{{"PARTSUPP", 0.80}, {"PART", 0.50}}, spill: 120},
+	{name: "Q17", scans: []tpchScan{{"PART", 0.20}}, probes: []tpchProbe{{"LINEITEM", 400, 3}}, spill: 80},
+	{name: "Q18", scans: []tpchScan{{"ORDERS", 0.90}, {"CUSTOMER", 0.50}}, probes: []tpchProbe{{"LINEITEM", 600, 3}}, spill: 400},
+	{name: "Q19", scans: []tpchScan{{"LINEITEM", 0.60}}, probes: []tpchProbe{{"PART", 250, 1}}, spill: 40},
+	{name: "Q20", scans: []tpchScan{{"PARTSUPP", 0.50}, {"SUPPLIER", 1.0}}, probes: []tpchProbe{{"LINEITEM", 300, 2}}, spill: 80},
+	{name: "Q21", scans: []tpchScan{{"SUPPLIER", 1.0}}, probes: []tpchProbe{{"LINEITEM", 500, 3}, {"ORDERS", 400, 1}}, spill: 200},
+	{name: "Q22", scans: []tpchScan{{"CUSTOMER", 0.70}}, probes: []tpchProbe{{"ORDERS", 200, 1}}, spill: 80},
+}
+
+func generateTPCH(p Preset, mysql bool) (*trace.Trace, error) {
+	t := trace.New(p.Name, p.PageSize)
+	db := dbsim.NewDatabase(p.PageSize)
+	w := &tpch{db: db, rng: randx.New(p.Seed), mysql: mysql}
+
+	frac := func(f float64) int {
+		n := int(f * float64(p.DBPages))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+
+	// Buffer pools. DB2 uses five (Figure 2: pool ID cardinality 5):
+	// LINEITEM, ORDERS, other data, indexes, temp. MySQL uses one.
+	var poolSizes []int
+	liPool, oPool, dataPool, idxPool, tmpPool := 0, 0, 0, 0, 0
+	if mysql {
+		poolSizes = []int{p.ClientBuffer}
+	} else {
+		poolSizes = []int{
+			p.ClientBuffer * 49 / 100,
+			p.ClientBuffer * 15 / 100,
+			p.ClientBuffer * 20 / 100,
+			p.ClientBuffer * 10 / 100,
+			p.ClientBuffer * 6 / 100,
+		}
+		liPool, oPool, dataPool, idxPool, tmpPool = 0, 1, 2, 3, 4
+	}
+
+	// Schema. MySQL stores each table together with its indexes in one
+	// file (Figure 2), so table and index share a FileID; 9 files total.
+	w.lineitem = db.NewObject("LINEITEM", "table", liPool, 1, 0, frac(0.52))
+	w.orders = db.NewObject("ORDERS", "table", oPool, 1, 1, frac(0.13))
+	w.partsupp = db.NewObject("PARTSUPP", "table", dataPool, 1, 2, frac(0.09))
+	w.part = db.NewObject("PART", "table", dataPool, 1, 3, frac(0.035))
+	w.customer = db.NewObject("CUSTOMER", "table", dataPool, 1, 4, frac(0.03))
+	w.supplier = db.NewObject("SUPPLIER", "table", dataPool, 1, 5, frac(0.008))
+	w.nation = db.NewObject("NATION", "table", dataPool, 1, 6, 1)
+	w.region = db.NewObject("REGION", "table", dataPool, 1, 7, 1)
+	w.liIdx = db.NewObject("LINEITEM_IDX", "index", idxPool, 1, 0, frac(0.04))
+	w.oIdx = db.NewObject("ORDERS_IDX", "index", idxPool, 1, 1, frac(0.015))
+	w.psIdx = db.NewObject("PARTSUPP_IDX", "index", idxPool, 1, 2, frac(0.01))
+	w.pIdx = db.NewObject("PART_IDX", "index", idxPool, 1, 3, frac(0.005))
+	w.cIdx = db.NewObject("CUSTOMER_IDX", "index", idxPool, 1, 4, frac(0.004))
+	w.sIdx = db.NewObject("SUPPLIER_IDX", "index", idxPool, 1, 5, frac(0.001))
+	w.temp = db.NewObject("TEMP", "temp", tmpPool, 1, 8, frac(0.05))
+	w.catalog = db.NewObject("CATALOG", "catalog", idxPool, 1, 8, 4)
+
+	var style dbsim.HintStyle = dbsim.DB2Style{}
+	threads := 1
+	if mysql {
+		style = dbsim.MySQLStyle{}
+		threads = 5
+	}
+	w.c = dbsim.NewClient(db, t, dbsim.Config{
+		Style:           style,
+		PoolSizes:       poolSizes,
+		Threads:         threads,
+		CheckpointEvery: 300,
+		Seed:            p.Seed + 1,
+	})
+
+	for i := 0; i < w.catalog.Pages(); i++ {
+		w.c.Read(w.catalog, i)
+	}
+
+	for w.c.Emitted() < p.Requests {
+		w.runStream(p.Requests)
+	}
+	t.Reqs = t.Reqs[:p.Requests]
+	return t, t.Validate()
+}
+
+// runStream executes one query stream: the 22 templates in a pseudo-random
+// order, then (DB2 only) the two refresh functions.
+func (w *tpch) runStream(limit int) {
+	order := w.rng.Perm(len(tpchQueries))
+	for _, qi := range order {
+		if w.c.Emitted() >= limit {
+			return
+		}
+		q := tpchQueries[qi]
+		if w.mysql && q.name == "Q18" {
+			continue // excessive run time on the MySQL configuration (§6)
+		}
+		w.runQuery(q)
+	}
+	if !w.mysql {
+		w.refresh1()
+		w.refresh2()
+	}
+}
+
+func (w *tpch) runQuery(q tpchQuery) {
+	w.queryNo++
+	w.c.SetThread(w.queryNo) // MySQL thread hint: one thread per query
+	for _, s := range q.scans {
+		obj := w.object(s.obj)
+		// Selectivity jitter: scan 75%–125% of the nominal fraction.
+		n := int(s.frac * (0.75 + 0.5*w.rng.Float64()) * float64(obj.Pages()))
+		if n > obj.Pages() {
+			n = obj.Pages()
+		}
+		w.scanChunked(obj, 0, n)
+	}
+	for _, pr := range q.probes {
+		inner := w.object(pr.inner)
+		idx := w.indexOf(pr.inner)
+		for i := 0; i < pr.n; i++ {
+			target := w.rng.Intn(inner.Pages())
+			if idx != nil {
+				w.c.Read(idx, idxPageFor(idx, inner, target))
+			}
+			for f := 0; f < pr.fanout && target+f < inner.Pages(); f++ {
+				w.c.Read(inner, target+f)
+			}
+			if i%64 == 63 {
+				w.c.Op()
+			}
+		}
+		w.c.Op()
+	}
+	if q.spill > 0 {
+		w.spill(q.spill)
+	}
+	w.c.Op()
+}
+
+// scanChunked scans in cleaner-friendly chunks so background writes
+// interleave with the scan as they would in a real system.
+func (w *tpch) scanChunked(obj *dbsim.Object, from, n int) {
+	const chunk = 512
+	for off := 0; off < n; off += chunk {
+		c := chunk
+		if off+c > n {
+			c = n - off
+		}
+		w.c.Scan(obj, from+off, c, false)
+		w.c.Op()
+	}
+}
+
+// spill writes n temp pages (sort runs / hash partitions) and then reads
+// them back — the write-then-re-read pattern that makes replacement writes
+// of temp pages excellent server caching candidates.
+func (w *tpch) spill(n int) {
+	start := w.spillPtr
+	for i := 0; i < n; i++ {
+		w.c.Update(w.temp, (start+i)%w.temp.Pages())
+	}
+	w.c.Op()
+	for i := 0; i < n; i++ {
+		w.c.Read(w.temp, (start+i)%w.temp.Pages())
+	}
+	w.spillPtr = (start + n) % w.temp.Pages()
+	w.c.Op()
+}
+
+// refresh1 (RF1) inserts new orders and their lineitems.
+func (w *tpch) refresh1() {
+	for i := 0; i < 150; i++ {
+		w.c.Insert(w.orders, 80)
+		lines := 1 + w.rng.Intn(7)
+		for j := 0; j < lines; j++ {
+			w.c.Insert(w.lineitem, 50)
+		}
+		if i%32 == 31 {
+			w.c.Op()
+		}
+	}
+	w.c.Op()
+}
+
+// refresh2 (RF2) deletes old orders: reads and dirties pages in the old
+// half of ORDERS and LINEITEM.
+func (w *tpch) refresh2() {
+	half := w.orders.Pages() / 2
+	for i := 0; i < 100; i++ {
+		w.c.Update(w.orders, w.rng.Intn(half+1))
+		if i%32 == 31 {
+			w.c.Op()
+		}
+	}
+	halfLI := w.lineitem.Pages() / 2
+	for i := 0; i < 400; i++ {
+		w.c.Update(w.lineitem, w.rng.Intn(halfLI+1))
+		if i%32 == 31 {
+			w.c.Op()
+		}
+	}
+	w.c.Op()
+}
+
+func (w *tpch) object(name string) *dbsim.Object {
+	o := w.db.Object(name)
+	if o == nil {
+		panic("workload: unknown TPC-H object " + name)
+	}
+	return o
+}
+
+func (w *tpch) indexOf(table string) *dbsim.Object {
+	switch table {
+	case "LINEITEM":
+		return w.liIdx
+	case "ORDERS":
+		return w.oIdx
+	case "PARTSUPP":
+		return w.psIdx
+	case "PART":
+		return w.pIdx
+	case "CUSTOMER":
+		return w.cIdx
+	case "SUPPLIER":
+		return w.sIdx
+	default:
+		return nil
+	}
+}

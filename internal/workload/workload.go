@@ -1,0 +1,91 @@
+// Package workload generates the paper's eight I/O request traces
+// (Figure 5) by running TPC-C-like and TPC-H-like workloads against the
+// simulated database clients of package dbsim. The traces carry the exact
+// hint vocabularies of the paper's Figure 2.
+//
+// All sizes are scaled ~10× down from the paper (see DESIGN.md §3): every
+// ratio that drives the caching behaviour — client buffer / database size,
+// server cache / database size — is preserved.
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Kind selects a workload generator.
+type Kind string
+
+const (
+	// TPCCDB2 is the TPC-C-like workload with DB2-style hints.
+	TPCCDB2 Kind = "tpcc-db2"
+	// TPCHDB2 is the TPC-H-like workload with DB2-style hints.
+	TPCHDB2 Kind = "tpch-db2"
+	// TPCHMySQL is the TPC-H-like workload with MySQL-style hints
+	// (21 queries, no refresh, single buffer pool).
+	TPCHMySQL Kind = "tpch-mysql"
+)
+
+// Preset describes one generated trace.
+type Preset struct {
+	// Name is the paper's trace name, e.g. "DB2_C60".
+	Name string
+	// Kind selects the generator.
+	Kind Kind
+	// DBPages is the initial database size in pages.
+	DBPages int
+	// ClientBuffer is the total client buffer size in pages.
+	ClientBuffer int
+	// Requests is the number of requests to generate.
+	Requests int
+	// PageSize is the block size in bytes (informational).
+	PageSize int
+	// Seed drives all workload randomness.
+	Seed int64
+	// ServerSizes is the server-cache sweep used in the paper's figure for
+	// this trace.
+	ServerSizes []int
+}
+
+// Presets returns the eight traces of Figure 5, scaled per DESIGN.md.
+// The paper's server cache sweeps are 60K–300K pages for DB2 traces and
+// 50K–100K for MySQL; scaled tenfold down they become 6K–30K and 5K–10K.
+func Presets() []Preset {
+	db2Sweep := []int{6000, 12000, 18000, 24000, 30000}
+	mySweep := []int{5000, 7500, 10000}
+	return []Preset{
+		{Name: "DB2_C60", Kind: TPCCDB2, DBPages: 60000, ClientBuffer: 6000, Requests: 2000000, PageSize: 4096, Seed: 10601, ServerSizes: db2Sweep},
+		{Name: "DB2_C300", Kind: TPCCDB2, DBPages: 60000, ClientBuffer: 30000, Requests: 1600000, PageSize: 4096, Seed: 10601, ServerSizes: db2Sweep},
+		{Name: "DB2_C540", Kind: TPCCDB2, DBPages: 60000, ClientBuffer: 54000, Requests: 1200000, PageSize: 4096, Seed: 10601, ServerSizes: db2Sweep},
+		{Name: "DB2_H80", Kind: TPCHDB2, DBPages: 80000, ClientBuffer: 8000, Requests: 2400000, PageSize: 4096, Seed: 20801, ServerSizes: db2Sweep},
+		{Name: "DB2_H400", Kind: TPCHDB2, DBPages: 80000, ClientBuffer: 40000, Requests: 1200000, PageSize: 4096, Seed: 20801, ServerSizes: db2Sweep},
+		{Name: "DB2_H720", Kind: TPCHDB2, DBPages: 80000, ClientBuffer: 72000, Requests: 500000, PageSize: 4096, Seed: 20801, ServerSizes: db2Sweep},
+		{Name: "MY_H65", Kind: TPCHMySQL, DBPages: 32800, ClientBuffer: 6500, Requests: 1200000, PageSize: 16384, Seed: 30651, ServerSizes: mySweep},
+		{Name: "MY_H98", Kind: TPCHMySQL, DBPages: 32800, ClientBuffer: 9800, Requests: 800000, PageSize: 16384, Seed: 30651, ServerSizes: mySweep},
+	}
+}
+
+// PresetByName returns the named preset.
+func PresetByName(name string) (Preset, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Preset{}, fmt.Errorf("workload: unknown preset %q", name)
+}
+
+// Generate runs the preset's workload and returns its trace.
+func Generate(p Preset) (*trace.Trace, error) {
+	switch p.Kind {
+	case TPCCDB2:
+		return generateTPCC(p)
+	case TPCHDB2:
+		return generateTPCH(p, false)
+	case TPCHMySQL:
+		return generateTPCH(p, true)
+	default:
+		return nil, fmt.Errorf("workload: unknown kind %q", p.Kind)
+	}
+}
