@@ -16,8 +16,11 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/sim"
 )
 
 // benchScale reduces every trace's request count; 0.1 keeps each figure's
@@ -194,3 +197,45 @@ func BenchmarkExtensionGeneralize(b *testing.B) {
 		logTables(b, tables, err)
 	}
 }
+
+// benchSweep runs the paper's five-policy comparison grid on DB2_C300:
+// serially via sim.Sweep when serial is set, otherwise through the
+// internal/engine worker pool at GOMAXPROCS. The two produce identical
+// results (see internal/engine's golden test); comparing their ns/op is the
+// multi-core speedup of the parallel experiment engine.
+func benchSweep(b *testing.B, serial bool) {
+	e := env()
+	t, err := e.Trace("DB2_C300")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sizes, err := e.ServerSizes("DB2_C300")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.Config{Window: 10000} // scaled like the figure benches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var hits float64
+		if serial {
+			for _, pol := range experiments.PaperPolicies {
+				sweep := sim.Sweep(sim.Constructor(pol, t, cfg), t, sizes)
+				hits = sweep[len(sweep)-1].HitRatio()
+			}
+		} else {
+			grid, err := engine.Grid(experiments.PaperPolicies, sizes, t, cfg, engine.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			sweep := grid[experiments.PaperPolicies[len(experiments.PaperPolicies)-1]]
+			hits = sweep[len(sweep)-1].HitRatio()
+		}
+		b.ReportMetric(100*hits, "CLIC-hit-%")
+	}
+}
+
+// BenchmarkSweepSerial is the serial baseline for the engine speedup.
+func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, true) }
+
+// BenchmarkSweepParallel is the same grid fanned across all cores.
+func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, false) }

@@ -6,6 +6,13 @@
 //	clicsim -trace traces/DB2_C60.trc -policy CLIC -cache 18000
 //	clicsim -trace traces/DB2_C60.trc -policy LRU,ARC,TQ,CLIC,OPT -cache 6000,12000,18000
 //	clicsim -trace traces/DB2_C60.trc -policy CLIC -cache 18000 -topk 100 -window 100000 -r 1
+//	clicsim -trace traces/DB2_C60.trc -policy CLIC -cache 18000 -shards 8 -concurrent
+//
+// The policy × cache-size grid is fanned across a worker pool
+// (internal/engine); -workers bounds the pool (default: all cores) and the
+// numbers are identical at any setting. -shards runs CLIC behind the
+// concurrency-safe sharded front (core.Sharded); adding -concurrent drives
+// it with one goroutine per trace client instead of replaying serially.
 package main
 
 import (
@@ -16,6 +23,8 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/policy"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -23,19 +32,25 @@ import (
 
 func main() {
 	var (
-		tracePath = flag.String("trace", "", "binary trace file (required)")
-		policies  = flag.String("policy", "CLIC", "comma-separated policies: "+strings.Join(sim.PolicyNames, ","))
-		caches    = flag.String("cache", "18000", "comma-separated server cache sizes in pages")
-		topk      = flag.Int("topk", 0, "CLIC: track only the k most frequent hint sets (0 = all)")
-		window    = flag.Int("window", 0, "CLIC: statistics window W (0 = default)")
-		decay     = flag.Float64("r", 0, "CLIC: decay parameter r (0 = default 1.0)")
-		noutq     = flag.Int("noutq", 0, "CLIC: outqueue entries (0 = 5 per cache page)")
-		perClient = flag.Bool("per-client", false, "report per-client hit ratios")
+		tracePath  = flag.String("trace", "", "binary trace file (required)")
+		policies   = flag.String("policy", "CLIC", "comma-separated policies: "+strings.Join(sim.PolicyNames, ","))
+		caches     = flag.String("cache", "18000", "comma-separated server cache sizes in pages")
+		topk       = flag.Int("topk", 0, "CLIC: track only the k most frequent hint sets (0 = all)")
+		window     = flag.Int("window", 0, "CLIC: statistics window W (0 = default)")
+		decay      = flag.Float64("r", 0, "CLIC: decay parameter r (0 = default 1.0)")
+		noutq      = flag.Int("noutq", 0, "CLIC: outqueue entries (0 = 5 per cache page)")
+		perClient  = flag.Bool("per-client", false, "report per-client hit ratios")
+		workers    = flag.Int("workers", 0, "parallel grid cells (0 = all cores)")
+		shards     = flag.Int("shards", 1, "CLIC: run behind a sharded concurrent front (>1 enables)")
+		concurrent = flag.Bool("concurrent", false, "drive the sharded CLIC front with one goroutine per client (requires -shards > 1)")
 	)
 	flag.Parse()
 	if *tracePath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *concurrent && *shards < 2 {
+		fatal(fmt.Errorf("-concurrent requires -shards > 1 (a plain cache is not safe for concurrent use)"))
 	}
 	t, err := trace.Load(*tracePath)
 	if err != nil {
@@ -47,21 +62,72 @@ func main() {
 	}
 	clicCfg := core.Config{TopK: *topk, Window: *window, R: *decay, Noutq: *noutq}
 
-	tbl := report.NewTable(fmt.Sprintf("read hit ratio — trace %s (%s requests)",
-		t.Name, report.Num(t.Len())), "policy", "cache (pages)", "read hit ratio")
+	// Build the policy × size grid as engine jobs, each with its own row
+	// metadata so results and labels cannot drift apart.
+	type cell struct {
+		policy string
+		size   int
+	}
+	var jobs []engine.Job
+	var cells []cell
+	anySharded := false
 	for _, polName := range strings.Split(*policies, ",") {
 		polName = strings.TrimSpace(polName)
-		for _, size := range sizes {
-			p, err := sim.NewPolicy(polName, size, t, clicCfg)
-			if err != nil {
+		sharded := polName == "CLIC" && *shards > 1
+		anySharded = anySharded || sharded
+		if *concurrent && !sharded {
+			// ServeClients drives the cache from one goroutine per client;
+			// only the sharded CLIC front is safe for that.
+			fatal(fmt.Errorf("-concurrent only supports CLIC behind -shards > 1; %q is not safe for concurrent use", polName))
+		}
+		if !sharded {
+			if _, err := sim.NewPolicy(polName, 1, t, clicCfg); err != nil {
 				fatal(err)
 			}
-			res := sim.Run(p, t)
-			tbl.AddRow(polName, report.Num(size), report.Pct(res.HitRatio()))
-			if *perClient && len(res.PerClient) > 1 {
-				for _, cs := range res.PerClient {
-					tbl.AddRow("  "+cs.Name, "", report.Pct(cs.HitRatio()))
-				}
+		}
+		for _, size := range sizes {
+			var mk func() policy.Policy
+			if sharded {
+				cfg := clicCfg
+				cfg.Capacity = sim.ClicCapacity(size)
+				n := *shards
+				mk = func() policy.Policy { return core.NewSharded(cfg, n) }
+			} else {
+				ctor := sim.Constructor(polName, t, clicCfg)
+				size := size
+				mk = func() policy.Policy { return ctor(size) }
+			}
+			jobs = append(jobs, engine.Job{New: mk, Trace: t})
+			cells = append(cells, cell{policy: polName, size: size})
+		}
+	}
+	if *shards > 1 && !anySharded {
+		fatal(fmt.Errorf("-shards only applies to CLIC, which is not in -policy %q", *policies))
+	}
+
+	var results []sim.Result
+	if *concurrent {
+		// Concurrent serving: every cell is one sharded front driven by all
+		// clients at once; the cells themselves still run in sequence so
+		// each front gets the full core budget.
+		for _, j := range jobs {
+			results = append(results, engine.ServeClients(j.New(), t))
+		}
+	} else {
+		results = engine.Run(jobs, engine.Options{Workers: *workers})
+	}
+
+	tbl := report.NewTable(fmt.Sprintf("read hit ratio — trace %s (%s requests)",
+		t.Name, report.Num(t.Len())), "policy", "cache (pages)", "read hit ratio")
+	for i, res := range results {
+		label := cells[i].policy
+		if label == "CLIC" && *shards > 1 {
+			label = res.Policy // e.g. CLIC/8
+		}
+		tbl.AddRow(label, report.Num(cells[i].size), report.Pct(res.HitRatio()))
+		if *perClient && len(res.PerClient) > 1 {
+			for _, cs := range res.PerClient {
+				tbl.AddRow("  "+cs.Name, "", report.Pct(cs.HitRatio()))
 			}
 		}
 	}

@@ -1,13 +1,18 @@
 // Command experiments regenerates every table and figure of the paper's
 // evaluation section (§6), printing each as a text table and optionally
-// writing the whole set as markdown (for EXPERIMENTS.md).
+// writing the whole set as a markdown report (-md).
 //
 // Usage:
 //
 //	experiments                        # run everything at full (scaled) size
 //	experiments -fig 6                 # one figure
 //	experiments -scale 0.25            # quick run at a quarter of the requests
+//	experiments -workers 1             # force the serial path (same numbers)
 //	experiments -cache traces -md out.md
+//
+// Each experiment's grid of independent simulations is fanned across a
+// worker pool (internal/engine); -workers bounds the pool (default: all
+// cores). Results are identical at any worker count.
 package main
 
 import (
@@ -18,6 +23,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/report"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -28,6 +34,8 @@ func main() {
 		mdPath   = flag.String("md", "", "also write all tables as markdown to this file")
 		window   = flag.Int("window", 0, "CLIC window W override")
 		decay    = flag.Float64("r", 0, "CLIC decay r override")
+		workers  = flag.Int("workers", 0, "parallel simulations per experiment (0 = all cores)")
+		progress = flag.Bool("progress", false, "log each completed grid cell to stderr")
 	)
 	flag.Parse()
 
@@ -35,6 +43,13 @@ func main() {
 	env.Scale = *scale
 	env.Window = *window
 	env.R = *decay
+	env.Workers = *workers
+	if *progress {
+		env.Progress = func(done, total int, r sim.Result) {
+			fmt.Fprintf(os.Stderr, "  [%d/%d] %s %s cache=%d hit=%.1f%%\n",
+				done, total, r.Trace, r.Policy, r.CacheSize, 100*r.HitRatio())
+		}
+	}
 
 	want := map[string]bool{}
 	if *fig != "" {

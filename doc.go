@@ -1,8 +1,10 @@
 // Package repro is a from-scratch reproduction of "CLIC: CLient-Informed
 // Caching for Storage Servers" (Liu, Aboulnaga, Salem, Li — FAST 2009).
 //
-// The system layout, the per-experiment index, and the substitutions made
-// for artifacts we do not have (the instrumented DB2/MySQL I/O traces) are
-// documented in DESIGN.md; measured-vs-paper results for every table and
-// figure live in EXPERIMENTS.md. Start with README.md.
+// Start with README.md: it maps the package layout, the policy set, and
+// the scaling substitutions made for artifacts we do not have (the
+// instrumented DB2/MySQL I/O traces). Every table and figure of the
+// paper's evaluation can be regenerated with cmd/experiments; the
+// benchmarks in this package regenerate the same artifacts at reduced
+// scale.
 package repro

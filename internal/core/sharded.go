@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hint"
+	"repro/internal/policy"
+	"repro/internal/trace"
+)
+
+// Sharded is a concurrency-safe CLIC front: it hash-partitions the page
+// space across N independent Caches, each guarded by its own mutex and
+// carrying its own outqueue and window statistics. Requests for different
+// shards proceed in parallel, so multiple simulated clients can drive one
+// server cache concurrently — the serving scenario the single Cache (which
+// is not safe for concurrent use) cannot support.
+//
+// Partitioning preserves CLIC's semantics per shard: a page's whole history
+// lands on one shard, so re-reference detection, outqueue records and
+// priority statistics for that page are exactly those of a plain Cache over
+// the shard's request subsequence. Hint-set statistics are learned per
+// shard (each shard sees ~1/N of the requests, so its window is scaled to
+// W/N); accessors merge the per-shard accounting back into cache-wide
+// totals.
+type Sharded struct {
+	shards   []shardedShard
+	capacity int
+}
+
+// shardedShard pairs one Cache partition with its lock. Padding the mutex
+// is unnecessary: the Cache maps behind it dominate cache-line traffic.
+type shardedShard struct {
+	mu sync.Mutex
+	c  *Cache
+}
+
+var _ policy.Policy = (*Sharded)(nil)
+
+// NewSharded returns a CLIC front with n shards. The configured capacity,
+// outqueue and window are totals for the whole front: capacity and outqueue
+// entries are split across shards (remainders go to the low shards), and
+// each shard's statistics window is W/n so the front as a whole rotates
+// statistics about every W requests under a uniform request spread. n = 1
+// degenerates to a mutex-guarded plain Cache.
+func NewSharded(cfg Config, n int) *Sharded {
+	if n <= 0 {
+		panic("core: NewSharded needs at least one shard")
+	}
+	if cfg.Capacity < 0 {
+		panic("core: negative capacity")
+	}
+	full := cfg.withDefaults()
+	s := &Sharded{shards: make([]shardedShard, n), capacity: full.Capacity}
+	window := full.Window / n
+	if window < 1 {
+		window = 1
+	}
+	for i := range s.shards {
+		sub := Config{
+			Capacity: splitEven(full.Capacity, n, i),
+			Window:   window,
+			R:        full.R,
+			TopK:     full.TopK,
+		}
+		// withDefaults has already resolved Noutq to an entry count; a zero
+		// split must not re-trigger the 5×-capacity default, so disabled
+		// shards get NoOutqueue explicitly.
+		if q := splitEven(full.Noutq, n, i); q > 0 {
+			sub.Noutq = q
+		} else {
+			sub.Noutq = NoOutqueue
+		}
+		s.shards[i].c = New(sub)
+	}
+	return s
+}
+
+// splitEven distributes total across n buckets, giving the remainder to the
+// lowest-indexed buckets.
+func splitEven(total, n, i int) int {
+	v := total / n
+	if i < total%n {
+		v++
+	}
+	return v
+}
+
+// ShardFor returns the shard index that owns a page. The mapping is a fixed
+// hash of the page number, so a page's whole request history stays on one
+// shard.
+func (s *Sharded) ShardFor(page uint64) int {
+	return int(mix64(page) % uint64(len(s.shards)))
+}
+
+// mix64 is the SplitMix64 finalizer, a cheap full-avalanche mixer: page
+// numbers are sequential per table/region, so taking them mod N directly
+// would stripe hot regions onto few shards.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Name implements policy.Policy.
+func (s *Sharded) Name() string {
+	if len(s.shards) == 1 {
+		return "CLIC"
+	}
+	return fmt.Sprintf("CLIC/%d", len(s.shards))
+}
+
+// Access implements policy.Policy. It is safe for concurrent use: requests
+// hitting different shards proceed in parallel, requests for the same shard
+// serialize on its mutex.
+func (s *Sharded) Access(r trace.Request) bool {
+	sh := &s.shards[s.ShardFor(r.Page)]
+	sh.mu.Lock()
+	hit := sh.c.Access(r)
+	sh.mu.Unlock()
+	return hit
+}
+
+// Len implements policy.Policy, summing the shards' cached-page counts.
+func (s *Sharded) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.c.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Capacity implements policy.Policy, returning the front's total capacity.
+func (s *Sharded) Capacity() int { return s.capacity }
+
+// Shards returns the number of shards.
+func (s *Sharded) Shards() int { return len(s.shards) }
+
+// Windows returns the total number of completed statistics windows across
+// all shards.
+func (s *Sharded) Windows() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.c.Windows()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// OutqueueLen returns the total number of outqueue entries across shards.
+func (s *Sharded) OutqueueLen() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.c.OutqueueLen()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// WindowStats merges the shards' current-window statistics into cache-wide
+// per-hint-set accounting: N and Nr sum across shards, D is the combined
+// mean distance, and Pr is recomputed from the merged numbers (Equation 2).
+// The result is sorted like Cache.WindowStats.
+func (s *Sharded) WindowStats() []HintStat {
+	type acc struct {
+		n, nr uint64
+		dsum  float64
+	}
+	merged := make(map[hint.ID]*acc)
+	var order []hint.ID
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		stats := sh.c.WindowStats()
+		sh.mu.Unlock()
+		for _, hs := range stats {
+			a, ok := merged[hs.Hint]
+			if !ok {
+				a = &acc{}
+				merged[hs.Hint] = a
+				order = append(order, hs.Hint)
+			}
+			a.n += hs.N
+			a.nr += hs.Nr
+			a.dsum += hs.D * float64(hs.Nr)
+		}
+	}
+	out := make([]HintStat, 0, len(order))
+	for _, h := range order {
+		a := merged[h]
+		hs := HintStat{Hint: h, N: a.n, Nr: a.nr}
+		if a.nr > 0 {
+			hs.D = a.dsum / float64(a.nr)
+		}
+		hs.Pr = windowPriority(a.n, a.nr, a.dsum)
+		out = append(out, hs)
+	}
+	sortHintStats(out)
+	return out
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/hint"
+	"repro/internal/trace"
+)
+
+// shardedTrace builds a seeded synthetic trace with enough distinct pages
+// and hint sets to populate every shard.
+func shardedTrace(n int, seed int64) []trace.Request {
+	rng := rand.New(rand.NewSource(seed))
+	d := hint.NewDict()
+	hints := []hint.ID{
+		d.Intern(hint.Make("reqtype", "seq")),
+		d.Intern(hint.Make("reqtype", "rand")),
+		d.Intern(hint.Make("reqtype", "repl-write", "table", "stock")),
+	}
+	reqs := make([]trace.Request, n)
+	for i := range reqs {
+		op := trace.Read
+		if rng.Intn(4) == 0 {
+			op = trace.Write
+		}
+		reqs[i] = trace.Request{
+			// Zipf-ish reuse: half the requests revisit a small hot set.
+			Page: uint64(rng.Intn(200)),
+			Hint: hints[rng.Intn(len(hints))],
+			Op:   op,
+		}
+		if rng.Intn(2) == 0 {
+			reqs[i].Page = uint64(200 + rng.Intn(5000))
+		}
+	}
+	return reqs
+}
+
+// TestShardedMatchesPartitionedCaches drives a Sharded front request by
+// request and checks that every hit/miss decision — and therefore the
+// aggregate hit count — matches plain Caches run over the per-shard request
+// subsequences with identical configurations.
+func TestShardedMatchesPartitionedCaches(t *testing.T) {
+	const shards = 4
+	cfg := Config{Capacity: 64, Window: 500, TopK: 0}
+	s := NewSharded(cfg, shards)
+
+	plain := make([]*Cache, shards)
+	for i := range plain {
+		plain[i] = New(s.shards[i].c.Config())
+	}
+
+	var wantHits, gotHits uint64
+	for i, r := range shardedTrace(20000, 42) {
+		got := s.Access(r)
+		want := plain[s.ShardFor(r.Page)].Access(r)
+		if got != want {
+			t.Fatalf("request %d (page %d): Sharded hit=%v, partitioned cache hit=%v", i, r.Page, got, want)
+		}
+		if got && r.Op == trace.Read {
+			gotHits++
+		}
+		if want && r.Op == trace.Read {
+			wantHits++
+		}
+	}
+	if gotHits != wantHits {
+		t.Fatalf("aggregate hits: Sharded %d, partitioned %d", gotHits, wantHits)
+	}
+	if gotHits == 0 {
+		t.Fatal("trace produced no hits; test is vacuous")
+	}
+
+	var plainLen, plainWindows int
+	for _, c := range plain {
+		plainLen += c.Len()
+		plainWindows += c.Windows()
+	}
+	if s.Len() != plainLen {
+		t.Errorf("Len: Sharded %d, partitioned sum %d", s.Len(), plainLen)
+	}
+	if s.Windows() != plainWindows {
+		t.Errorf("Windows: Sharded %d, partitioned sum %d", s.Windows(), plainWindows)
+	}
+}
+
+// TestShardedSplit checks the capacity/outqueue/window split accounting.
+func TestShardedSplit(t *testing.T) {
+	cfg := Config{Capacity: 10, Window: 9000}
+	s := NewSharded(cfg, 3)
+	if s.Capacity() != 10 {
+		t.Errorf("Capacity = %d, want 10", s.Capacity())
+	}
+	var caps, outqs int
+	for i := range s.shards {
+		sub := s.shards[i].c.Config()
+		caps += sub.Capacity
+		outqs += sub.Noutq
+		if sub.Window != 3000 {
+			t.Errorf("shard %d window = %d, want 3000", i, sub.Window)
+		}
+	}
+	if caps != 10 {
+		t.Errorf("shard capacities sum to %d, want 10", caps)
+	}
+	if outqs != 50 { // default 5 entries per cache page, split like capacity
+		t.Errorf("shard outqueues sum to %d, want 50", outqs)
+	}
+	if got := NewSharded(Config{Capacity: 4}, 1).Name(); got != "CLIC" {
+		t.Errorf("1-shard Name = %q", got)
+	}
+	if got := NewSharded(Config{Capacity: 4}, 8).Name(); got != "CLIC/8" {
+		t.Errorf("8-shard Name = %q", got)
+	}
+}
+
+// TestShardedStableMapping checks that a page always lands on the same
+// shard and that the mapping spreads a sequential page range.
+func TestShardedStableMapping(t *testing.T) {
+	s := NewSharded(Config{Capacity: 16}, 4)
+	seen := make([]int, 4)
+	for p := uint64(0); p < 4000; p++ {
+		a, b := s.ShardFor(p), s.ShardFor(p)
+		if a != b {
+			t.Fatalf("page %d mapped to %d then %d", p, a, b)
+		}
+		seen[a]++
+	}
+	for i, n := range seen {
+		if n < 500 { // uniform would be 1000 per shard
+			t.Errorf("shard %d received only %d of 4000 sequential pages", i, n)
+		}
+	}
+}
+
+// TestShardedConcurrent hammers one front from several goroutines (the
+// multi-client serving scenario); run under -race this exercises the
+// per-shard locking. Totals are checked against a serial replay.
+func TestShardedConcurrent(t *testing.T) {
+	const clients = 8
+	cfg := Config{Capacity: 128, Window: 1000}
+	s := NewSharded(cfg, 4)
+
+	var wg sync.WaitGroup
+	hits := make([]uint64, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for _, r := range shardedTrace(5000, int64(100+c)) {
+				if s.Access(r) && r.Op == trace.Read {
+					hits[c]++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var total uint64
+	for _, h := range hits {
+		total += h
+	}
+	if total == 0 {
+		t.Error("no hits across all clients")
+	}
+	if got := s.Len(); got > s.Capacity() {
+		t.Errorf("Len %d exceeds capacity %d", got, s.Capacity())
+	}
+	if s.Windows() == 0 {
+		t.Error("no statistics windows completed")
+	}
+	if s.OutqueueLen() == 0 {
+		t.Error("outqueue is empty after 40K requests")
+	}
+	if len(s.WindowStats()) == 0 {
+		t.Error("merged WindowStats is empty")
+	}
+}

@@ -172,13 +172,18 @@ func (c *Cache) WindowStats() []HintStat {
 			out = append(out, hs)
 		}
 	}
+	sortHintStats(out)
+	return out
+}
+
+// sortHintStats orders snapshots by descending N, ties broken by hint ID.
+func sortHintStats(out []HintStat) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].N != out[j].N {
 			return out[i].N > out[j].N
 		}
 		return out[i].Hint < out[j].Hint
 	})
-	return out
 }
 
 // Priorities returns a copy of the priorities currently in effect.

@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// testTrace generates a small seeded TPC-C trace once per test binary.
+var testTrace = func() *trace.Trace {
+	p, err := workload.PresetByName("DB2_C60")
+	if err != nil {
+		panic(err)
+	}
+	p.Requests = 30000
+	t, err := workload.Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}()
+
+var testSizes = []int{500, 1000, 2000, 4000}
+
+// TestSweepMatchesSerial is the determinism golden test: the parallel
+// sweep's []sim.Result must be byte-identical (under a canonical encoding)
+// to the serial sim.Sweep output, for every policy and any worker count.
+func TestSweepMatchesSerial(t *testing.T) {
+	clicCfg := core.Config{Window: 5000}
+	for _, pol := range sim.PolicyNames {
+		mk := sim.Constructor(pol, testTrace, clicCfg)
+		want, err := json.Marshal(sim.Sweep(mk, testTrace, testSizes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 3, 16} {
+			got, err := json.Marshal(Sweep(mk, testTrace, testSizes, Options{Workers: workers}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s (workers=%d): parallel sweep differs from serial sim.Sweep\n got: %s\nwant: %s",
+					pol, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestGrid checks grouping, ordering, and name validation.
+func TestGrid(t *testing.T) {
+	policies := []string{"LRU", "CLIC", "FIFO"}
+	res, err := Grid(policies, testSizes, testTrace, core.Config{Window: 5000}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(policies) {
+		t.Fatalf("got %d policies, want %d", len(res), len(policies))
+	}
+	for _, pol := range policies {
+		sweep := res[pol]
+		if len(sweep) != len(testSizes) {
+			t.Fatalf("%s: got %d results, want %d", pol, len(sweep), len(testSizes))
+		}
+		for i, r := range sweep {
+			want := testSizes[i]
+			if pol == "CLIC" {
+				want = sim.ClicCapacity(want) // CLIC pays its tracking overhead in pages
+			}
+			if r.CacheSize != want {
+				t.Errorf("%s[%d]: CacheSize = %d, want %d (order not preserved)", pol, i, r.CacheSize, want)
+			}
+			if r.Requests != uint64(testTrace.Len()) {
+				t.Errorf("%s[%d]: Requests = %d, want %d", pol, i, r.Requests, testTrace.Len())
+			}
+		}
+	}
+	if _, err := Grid([]string{"LRU", "NOPE"}, testSizes, testTrace, core.Config{}, Options{}); err == nil {
+		t.Error("Grid accepted an unknown policy name")
+	}
+}
+
+// TestRunProgress checks the progress callback: serialized, monotone done
+// counts reaching the total exactly once each.
+func TestRunProgress(t *testing.T) {
+	jobs := make([]Job, 9)
+	for i := range jobs {
+		jobs[i] = Job{New: func() policy.Policy { return core.New(core.Config{Capacity: 100}) }, Trace: testTrace}
+	}
+	seen := make(map[int]bool)
+	last := 0
+	res := Run(jobs, Options{Workers: 4, Progress: func(done, total int, r sim.Result) {
+		if total != len(jobs) {
+			t.Errorf("total = %d, want %d", total, len(jobs))
+		}
+		if done != last+1 {
+			t.Errorf("done jumped from %d to %d", last, done)
+		}
+		last = done
+		if seen[done] {
+			t.Errorf("done=%d reported twice", done)
+		}
+		seen[done] = true
+		if r.Policy == "" {
+			t.Error("progress result missing policy name")
+		}
+	}})
+	if last != len(jobs) || len(res) != len(jobs) {
+		t.Errorf("completed %d of %d jobs, %d results", last, len(jobs), len(res))
+	}
+}
+
+// TestRunEmpty ensures a zero-job run is a no-op, not a hang.
+func TestRunEmpty(t *testing.T) {
+	if got := Run(nil, Options{}); len(got) != 0 {
+		t.Errorf("Run(nil) returned %d results", len(got))
+	}
+}
+
+// TestServeClients drives a sharded CLIC front with concurrent clients and
+// checks the merged accounting: per-client read counts are exact (they
+// depend only on the trace) and the totals are consistent.
+func TestServeClients(t *testing.T) {
+	a := testTrace.Truncate(10000)
+	a.Name = "A"
+	b := testTrace.Truncate(10000)
+	b.Name = "B"
+	merged, err := trace.Interleave("AB", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewSharded(core.Config{Capacity: 2000, Window: 2000}, 4)
+	res := ServeClients(s, merged)
+
+	if res.Requests != uint64(merged.Len()) {
+		t.Errorf("Requests = %d, want %d", res.Requests, merged.Len())
+	}
+	if len(res.PerClient) != 2 {
+		t.Fatalf("PerClient has %d entries, want 2", len(res.PerClient))
+	}
+	// Both clients replay the same requests, so their read counts agree and
+	// sum to the total.
+	if res.PerClient[0].Reads != res.PerClient[1].Reads {
+		t.Errorf("client read counts differ: %d vs %d", res.PerClient[0].Reads, res.PerClient[1].Reads)
+	}
+	if res.Reads != res.PerClient[0].Reads+res.PerClient[1].Reads {
+		t.Errorf("Reads = %d, want sum of per-client %d", res.Reads, res.PerClient[0].Reads+res.PerClient[1].Reads)
+	}
+	if res.ReadHits != res.PerClient[0].ReadHits+res.PerClient[1].ReadHits {
+		t.Errorf("ReadHits = %d, inconsistent with per-client sum", res.ReadHits)
+	}
+	if res.ReadHits == 0 {
+		t.Error("no hits at all; cache is not being exercised")
+	}
+	if res.Policy != "CLIC/4" {
+		t.Errorf("Policy = %q, want CLIC/4", res.Policy)
+	}
+}

@@ -4,16 +4,17 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hintproj"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
-// Ablation experiments for the design choices DESIGN.md calls out. These go
-// beyond the paper's figures: they vary CLIC's own parameters (r, W, Noutq)
-// and compare the full policy zoo, quantifying how much each mechanism
-// contributes.
+// Ablation experiments beyond the paper's figures: they vary CLIC's own
+// parameters (r, W, Noutq) and compare the full policy zoo, quantifying how
+// much each mechanism contributes. Like the figures, each sweep fans its
+// independent runs across the engine's worker pool.
 
 // AblationR varies the exponential decay parameter r (Equation 3) on the
 // DB2_C300 trace with a mid-size cache. The paper fixes r = 1; this table
@@ -26,12 +27,16 @@ func (e *Env) AblationR() (*report.Table, error) {
 	tbl := report.NewTable(
 		fmt.Sprintf("Ablation — decay parameter r, DB2_C300, %d-page cache", MidCacheSize),
 		"r", "read hit ratio")
-	for _, r := range []float64{1.0, 0.75, 0.5, 0.25, 0.1} {
+	rs := []float64{1.0, 0.75, 0.5, 0.25, 0.1}
+	jobs := make([]engine.Job, len(rs))
+	for i, r := range rs {
 		cfg := e.clicConfig()
 		cfg.R = r
 		cfg.Capacity = sim.ClicCapacity(MidCacheSize)
-		res := sim.Run(core.New(cfg), t)
-		tbl.AddRow(fmt.Sprintf("%.2f", r), report.Pct(res.HitRatio()))
+		jobs[i] = engine.Job{New: clicJob(cfg), Trace: t}
+	}
+	for i, res := range engine.Run(jobs, e.opts()) {
+		tbl.AddRow(fmt.Sprintf("%.2f", rs[i]), report.Pct(res.HitRatio()))
 	}
 	return tbl, nil
 }
@@ -45,13 +50,18 @@ func (e *Env) AblationW() (*report.Table, error) {
 	tbl := report.NewTable(
 		fmt.Sprintf("Ablation — window size W, DB2_C300, %d-page cache", MidCacheSize),
 		"W (requests)", "windows completed", "read hit ratio")
-	for _, w := range []int{12500, 25000, 50000, 100000, 200000, 400000} {
+	ws := []int{12500, 25000, 50000, 100000, 200000, 400000}
+	jobs := make([]engine.Job, len(ws))
+	for i, w := range ws {
 		cfg := e.clicConfig()
 		cfg.Window = w
 		cfg.Capacity = sim.ClicCapacity(MidCacheSize)
-		c := core.New(cfg)
-		res := sim.Run(c, t)
-		tbl.AddRow(report.Num(w), report.Num(c.Windows()), report.Pct(res.HitRatio()))
+		jobs[i] = engine.Job{New: clicJob(cfg), Trace: t}
+	}
+	for i, res := range engine.Run(jobs, e.opts()) {
+		// A window completes every W requests, so the count follows from
+		// the trace length.
+		tbl.AddRow(report.Num(ws[i]), report.Num(t.Len()/ws[i]), report.Pct(res.HitRatio()))
 	}
 	return tbl, nil
 }
@@ -67,18 +77,23 @@ func (e *Env) AblationOutqueue() (*report.Table, error) {
 	tbl := report.NewTable(
 		fmt.Sprintf("Ablation — outqueue size, DB2_C300, %d-page cache", MidCacheSize),
 		"Noutq (per cache page)", "read hit ratio")
-	for _, mult := range []int{-1, 1, 2, 5, 10} {
+	mults := []int{-1, 1, 2, 5, 10}
+	labels := make([]string, len(mults))
+	jobs := make([]engine.Job, len(mults))
+	for i, mult := range mults {
 		cfg := e.clicConfig()
 		cfg.Capacity = sim.ClicCapacity(MidCacheSize)
-		label := report.Num(mult)
+		labels[i] = report.Num(mult)
 		if mult < 0 {
 			cfg.Noutq = core.NoOutqueue
-			label = "0 (disabled)"
+			labels[i] = "0 (disabled)"
 		} else {
 			cfg.Noutq = mult * cfg.Capacity
 		}
-		res := sim.Run(core.New(cfg), t)
-		tbl.AddRow(label, report.Pct(res.HitRatio()))
+		jobs[i] = engine.Job{New: clicJob(cfg), Trace: t}
+	}
+	for i, res := range engine.Run(jobs, e.opts()) {
+		tbl.AddRow(labels[i], report.Pct(res.HitRatio()))
 	}
 	return tbl, nil
 }
@@ -93,13 +108,12 @@ func (e *Env) PolicyZoo(traceName string, cacheSize int) (*report.Table, error) 
 	tbl := report.NewTable(
 		fmt.Sprintf("Policy zoo — %s trace, %d-page cache", traceName, cacheSize),
 		"policy", "read hit ratio")
+	results, err := engine.Grid(sim.PolicyNames, []int{cacheSize}, t, e.clicConfig(), e.opts())
+	if err != nil {
+		return nil, err
+	}
 	for _, name := range sim.PolicyNames {
-		p, err := sim.NewPolicy(name, cacheSize, t, e.clicConfig())
-		if err != nil {
-			return nil, err
-		}
-		res := sim.Run(p, t)
-		tbl.AddRow(name, report.Pct(res.HitRatio()))
+		tbl.AddRow(name, report.Pct(results[name][0].HitRatio()))
 	}
 	return tbl, nil
 }
@@ -117,11 +131,14 @@ func (e *Env) ExtensionGeneralize() (*report.Table, error) {
 	for i, T := range Fig10Ts {
 		rows[i] = []string{report.Num(T)}
 	}
+	// As in Fig10, batch per base trace so only one trace's projected
+	// copies (full request-array duplicates) are alive at a time.
 	for _, name := range names {
 		base, err := e.Trace(name)
 		if err != nil {
 			return nil, err
 		}
+		jobs := make([]engine.Job, len(Fig10Ts))
 		for i, T := range Fig10Ts {
 			noisy, err := trace.WithNoise(base, trace.DefaultNoise(T, 7700+int64(T)))
 			if err != nil {
@@ -132,7 +149,9 @@ func (e *Env) ExtensionGeneralize() (*report.Table, error) {
 			cfg := e.clicConfig()
 			cfg.TopK = 100
 			cfg.Capacity = sim.ClicCapacity(MidCacheSize)
-			res := sim.Run(core.New(cfg), projected)
+			jobs[i] = engine.Job{New: clicJob(cfg), Trace: projected}
+		}
+		for i, res := range engine.Run(jobs, e.opts()) {
 			rows[i] = append(rows[i], report.Pct(res.HitRatio()))
 		}
 	}

@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -27,8 +29,20 @@ type Env struct {
 	// full-size W = 1e6 with r = 1; our scaled default is W = 1e5).
 	Window int
 	R      float64
+	// Workers is the engine pool size for each experiment's grid of
+	// independent simulations; 0 selects GOMAXPROCS, 1 forces the serial
+	// path. Results are identical at any setting.
+	Workers int
+	// Progress, when non-nil, observes each completed grid cell (forwarded
+	// to engine.Options.Progress).
+	Progress func(done, total int, r sim.Result)
 
 	traces map[string]*trace.Trace
+}
+
+// opts returns the engine options for this environment.
+func (e *Env) opts() engine.Options {
+	return engine.Options{Workers: e.Workers, Progress: e.Progress}
 }
 
 // NewEnv returns an experiment environment caching traces under dir

@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/policy"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -128,10 +130,11 @@ func (e *Env) hitRatioSweep(figure, traceName string, policies []string) (*repor
 	}
 	cols := append([]string{"server cache (pages)"}, policies...)
 	tbl := report.NewTable(fmt.Sprintf("%s — read hit ratio, %s trace", figure, traceName), cols...)
-	// Run per policy (each sweep reuses the policy constructor).
-	results := make(map[string][]sim.Result, len(policies))
-	for _, pol := range policies {
-		results[pol] = sim.Sweep(sim.Constructor(pol, t, e.clicConfig()), t, sizes)
+	// Fan the whole policy × size grid across the engine's worker pool; the
+	// results are identical to per-policy serial sweeps.
+	results, err := engine.Grid(policies, sizes, t, e.clicConfig(), e.opts())
+	if err != nil {
+		return nil, err
 	}
 	for i, size := range sizes {
 		row := []string{report.Num(size)}
@@ -192,18 +195,24 @@ func (e *Env) Fig9() ([]*report.Table, error) {
 			rows[k] = []string{report.Num(k)}
 		}
 		rows[0] = []string{"all"}
+		ks := append(append([]int{}, Fig9Ks...), 0)
+		var jobs []engine.Job
+		var jobKs []int
 		for _, name := range family {
 			t, err := e.Trace(name)
 			if err != nil {
 				return nil, err
 			}
-			for _, k := range append(append([]int{}, Fig9Ks...), 0) {
+			for _, k := range ks {
 				cfg := e.clicConfig()
 				cfg.TopK = k
 				cfg.Capacity = sim.ClicCapacity(MidCacheSize)
-				res := sim.Run(core.New(cfg), t)
-				rows[k] = append(rows[k], report.Pct(res.HitRatio()))
+				jobs = append(jobs, engine.Job{New: clicJob(cfg), Trace: t})
+				jobKs = append(jobKs, k)
 			}
+		}
+		for i, res := range engine.Run(jobs, e.opts()) {
+			rows[jobKs[i]] = append(rows[jobKs[i]], report.Pct(res.HitRatio()))
 		}
 		for _, k := range Fig9Ks {
 			tbl.AddRow(rows[k]...)
@@ -229,11 +238,15 @@ func (e *Env) Fig10() (*report.Table, error) {
 	for i, T := range Fig10Ts {
 		rows[i] = []string{report.Num(T)}
 	}
+	// One engine batch per base trace: the noisy copies duplicate the full
+	// request array, so keeping only one trace's T-sweep alive at a time
+	// bounds peak memory while the sweep itself still runs in parallel.
 	for _, name := range names {
 		base, err := e.Trace(name)
 		if err != nil {
 			return nil, err
 		}
+		jobs := make([]engine.Job, len(Fig10Ts))
 		for i, T := range Fig10Ts {
 			noisy, err := trace.WithNoise(base, trace.DefaultNoise(T, 7700+int64(T)))
 			if err != nil {
@@ -242,7 +255,9 @@ func (e *Env) Fig10() (*report.Table, error) {
 			cfg := e.clicConfig()
 			cfg.TopK = 100
 			cfg.Capacity = sim.ClicCapacity(MidCacheSize)
-			res := sim.Run(core.New(cfg), noisy)
+			jobs[i] = engine.Job{New: clicJob(cfg), Trace: noisy}
+		}
+		for i, res := range engine.Run(jobs, e.opts()) {
 			rows[i] = append(rows[i], report.Pct(res.HitRatio()))
 		}
 	}
@@ -250,6 +265,11 @@ func (e *Env) Fig10() (*report.Table, error) {
 		tbl.AddRow(row...)
 	}
 	return tbl, nil
+}
+
+// clicJob adapts a CLIC configuration to an engine job constructor.
+func clicJob(cfg core.Config) func() policy.Policy {
+	return func() policy.Policy { return core.New(cfg) }
 }
 
 // Fig11 regenerates the multi-client experiment (Figure 11): the DB2 TPC-C
@@ -273,16 +293,18 @@ func (e *Env) Fig11() (*report.Table, error) {
 	cfg := e.clicConfig()
 	cfg.TopK = 100
 	cfg.Capacity = sim.ClicCapacity(MidCacheSize)
-	shared := sim.Run(core.New(cfg), merged)
-
-	private := make([]sim.Result, len(names))
 	partition := MidCacheSize / len(names)
-	for i, t := range traces {
+	// The shared-cache run and the three private-cache runs are four
+	// independent cells; fan them out together.
+	jobs := []engine.Job{{New: clicJob(cfg), Trace: merged}}
+	for _, t := range traces {
 		pcfg := e.clicConfig()
 		pcfg.TopK = 100
 		pcfg.Capacity = sim.ClicCapacity(partition)
-		private[i] = sim.Run(core.New(pcfg), t)
+		jobs = append(jobs, engine.Job{New: clicJob(pcfg), Trace: t})
 	}
+	all := engine.Run(jobs, e.opts())
+	shared, private := all[0], all[1:]
 
 	tbl := report.NewTable(
 		fmt.Sprintf("Figure 11 — three clients: %d-page shared cache vs 3 × %d-page private caches",

@@ -94,8 +94,8 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// Markdown renders the table as GitHub-flavoured markdown (used when
-// writing EXPERIMENTS.md).
+// Markdown renders the table as GitHub-flavoured markdown (used by
+// cmd/experiments -md to write a report file).
 func (t *Table) Markdown() string {
 	var b strings.Builder
 	if t.Title != "" {

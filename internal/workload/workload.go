@@ -3,7 +3,7 @@
 // simulated database clients of package dbsim. The traces carry the exact
 // hint vocabularies of the paper's Figure 2.
 //
-// All sizes are scaled ~10× down from the paper (see DESIGN.md §3): every
+// All sizes are scaled ~10× down from the paper (see README.md): every
 // ratio that drives the caching behaviour — client buffer / database size,
 // server cache / database size — is preserved.
 package workload
@@ -48,7 +48,7 @@ type Preset struct {
 	ServerSizes []int
 }
 
-// Presets returns the eight traces of Figure 5, scaled per DESIGN.md.
+// Presets returns the eight traces of Figure 5, scaled per README.md.
 // The paper's server cache sweeps are 60K–300K pages for DB2 traces and
 // 50K–100K for MySQL; scaled tenfold down they become 6K–30K and 5K–10K.
 func Presets() []Preset {
