@@ -19,8 +19,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/netclient"
 	"repro/internal/report"
+	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // benchScale reduces every trace's request count; 0.1 keeps each figure's
@@ -239,3 +242,79 @@ func BenchmarkSweepSerial(b *testing.B) { benchSweep(b, true) }
 
 // BenchmarkSweepParallel is the same grid fanned across all cores.
 func BenchmarkSweepParallel(b *testing.B) { benchSweep(b, false) }
+
+var (
+	serveOnce  sync.Once
+	serveTrace *trace.Trace
+)
+
+// serveBenchTrace interleaves the three DB2 TPC-C client traces (the §6.4
+// multi-client scenario) at bench scale, once per test binary.
+func serveBenchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	serveOnce.Do(func() {
+		e := env()
+		parts := make([]*trace.Trace, 0, 3)
+		for _, name := range []string{"DB2_C60", "DB2_C300", "DB2_C540"} {
+			t, err := e.Trace(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			parts = append(parts, t)
+		}
+		merged, err := trace.Interleave("THREE_CLIENTS", parts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serveTrace = merged
+	})
+	return serveTrace
+}
+
+const serveBenchShards = 8
+
+func serveBenchConfig() core.Config {
+	return core.Config{TopK: 100, Window: 50000, Capacity: sim.ClicCapacity(18000)}
+}
+
+// reportServeMetrics attaches throughput and hit ratio to a serving bench.
+func reportServeMetrics(b *testing.B, t *trace.Trace, res sim.Result) {
+	b.ReportMetric(float64(t.Len())*float64(b.N)/b.Elapsed().Seconds(), "reqs/s")
+	b.ReportMetric(100*res.HitRatio(), "hit-%")
+}
+
+// BenchmarkServeClients is the in-process serving baseline: one goroutine
+// per client drives a shared sharded CLIC front through direct calls.
+func BenchmarkServeClients(b *testing.B) {
+	t := serveBenchTrace(b)
+	b.ResetTimer()
+	var res sim.Result
+	for i := 0; i < b.N; i++ {
+		res = engine.ServeClients(core.NewSharded(serveBenchConfig(), serveBenchShards), t)
+	}
+	reportServeMetrics(b, t, res)
+}
+
+// BenchmarkServeLoopback is the same workload through the network stack: a
+// TCP server on loopback, one connection per client, batched wire frames.
+// Comparing against BenchmarkServeClients prices the protocol overhead.
+func BenchmarkServeLoopback(b *testing.B) {
+	t := serveBenchTrace(b)
+	b.ResetTimer()
+	var res sim.Result
+	for i := 0; i < b.N; i++ {
+		srv := server.New(server.Config{Cache: serveBenchConfig(), Shards: serveBenchShards})
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		r, err := netclient.Replay(srv.Addr().String(), t, netclient.ReplayOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+		if err := srv.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportServeMetrics(b, t, res)
+}

@@ -13,6 +13,18 @@
 // numbers are identical at any setting. -shards runs CLIC behind the
 // concurrency-safe sharded front (core.Sharded); adding -concurrent drives
 // it with one goroutine per trace client instead of replaying serially.
+//
+// The simulator also speaks the network protocol (internal/wire):
+//
+//	clicsim -serve :7070 -cache 18000 -shards 8      # run a cache server
+//	clicsim -connect :7070 -trace traces/DB2_C60.trc # replay over the wire
+//
+// -serve wraps the CLIC configuration in a TCP cache server (one-size,
+// CLIC-only — cmd/clicserve is the full-featured server). -connect streams
+// the trace file to a running server with one concurrent connection per
+// trace client (one goroutine each) and reports per-client and total hit
+// ratios measured from the server's responses; -limit caps the replayed
+// request count and -batch sets the requests per wire frame.
 package main
 
 import (
@@ -24,8 +36,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/netclient"
 	"repro/internal/policy"
 	"repro/internal/report"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -43,11 +57,24 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel grid cells (0 = all cores)")
 		shards     = flag.Int("shards", 1, "CLIC: run behind a sharded concurrent front (>1 enables)")
 		concurrent = flag.Bool("concurrent", false, "drive the sharded CLIC front with one goroutine per client (requires -shards > 1)")
+		serveAddr  = flag.String("serve", "", "run as a network cache server on this address instead of simulating")
+		connect    = flag.String("connect", "", "replay the trace against a cache server at this address")
+		batch      = flag.Int("batch", 0, "-connect: requests per wire frame (0 = default)")
+		limit      = flag.Int("limit", 0, "-connect: replay at most this many requests (0 = all)")
 	)
 	flag.Parse()
+	if *serveAddr != "" {
+		serve(*serveAddr, *shards, sizesOrDie(*caches),
+			core.Config{TopK: *topk, Window: *window, R: *decay, Noutq: *noutq})
+		return
+	}
 	if *tracePath == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *connect != "" {
+		replay(*connect, *tracePath, netclient.ReplayOptions{BatchSize: *batch, Limit: *limit}, *perClient)
+		return
 	}
 	if *concurrent && *shards < 2 {
 		fatal(fmt.Errorf("-concurrent requires -shards > 1 (a plain cache is not safe for concurrent use)"))
@@ -56,10 +83,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sizes, err := parseInts(*caches)
-	if err != nil {
-		fatal(err)
-	}
+	sizes := sizesOrDie(*caches)
 	clicCfg := core.Config{TopK: *topk, Window: *window, R: *decay, Noutq: *noutq}
 
 	// Build the policy × size grid as engine jobs, each with its own row
@@ -136,16 +160,60 @@ func main() {
 	}
 }
 
-func parseInts(s string) ([]int, error) {
+// serve runs a CLIC cache server until killed: the -serve counterpart of
+// cmd/clicserve, kept here so a loopback experiment needs only one binary.
+// The first -cache size is the server capacity, docked 1% like every other
+// CLIC run (§6.1) so loopback numbers compare to the in-process grid.
+func serve(addr string, shards int, sizes []int, cfg core.Config) {
+	if shards < 1 {
+		shards = 1
+	}
+	cfg.Capacity = sim.ClicCapacity(sizes[0])
+	srv := server.New(server.Config{Cache: cfg, Shards: shards})
+	if err := srv.Listen(addr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "clicsim: %s front with %s pages serving on %s\n",
+		srv.Cache().Name(), report.Num(sizes[0]), srv.Addr())
+	if err := srv.Serve(); err != nil {
+		fatal(err)
+	}
+}
+
+// replay streams the trace file to a cache server (one connection per
+// trace client) and reports the hit ratios the server's responses imply.
+func replay(addr, path string, opt netclient.ReplayOptions, perClient bool) {
+	res, err := netclient.ReplayFile(addr, path, opt)
+	if err != nil {
+		fatal(err)
+	}
+	tbl := report.NewTable(fmt.Sprintf("networked replay — trace %s against %s at %s (%s requests)",
+		res.Trace, res.Policy, addr, report.Num(res.Requests)),
+		"client", "reads", "read hits", "hit ratio")
+	if perClient && len(res.PerClient) > 1 {
+		for _, cs := range res.PerClient {
+			tbl.AddRow(cs.Name, report.Num(cs.Reads), report.Num(cs.ReadHits), report.Pct(cs.HitRatio()))
+		}
+	}
+	tbl.AddRow("total", report.Num(res.Reads), report.Num(res.ReadHits), report.Pct(res.HitRatio()))
+	if err := tbl.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	// One machine-greppable summary line (the CI smoke test parses it).
+	fmt.Printf("replay total: requests=%d reads=%d hits=%d ratio=%.4f\n",
+		res.Requests, res.Reads, res.ReadHits, res.HitRatio())
+}
+
+func sizesOrDie(s string) []int {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
 		v, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			return nil, fmt.Errorf("bad size %q: %w", part, err)
+			fatal(fmt.Errorf("bad size %q: %w", part, err))
 		}
 		out = append(out, v)
 	}
-	return out, nil
+	return out
 }
 
 func fatal(err error) {

@@ -7,4 +7,15 @@
 // paper's evaluation can be regenerated with cmd/experiments; the
 // benchmarks in this package regenerate the same artifacts at reduced
 // scale.
+//
+// Beyond the paper's trace replay, the reproduction also runs CLIC as an
+// actual storage server (cmd/clicserve): clients stream page requests with
+// hints over a length-prefixed binary TCP protocol and get hit/miss
+// verdicts back. Each frame is a uvarint length plus a typed payload —
+// hello (client name + hint vocabulary), intern (hints discovered
+// mid-stream), batch (flags, delta-encoded page, hint index per request),
+// results (hit bitmap + server outqueue depth), error. See internal/wire
+// for the exact layout, internal/server and internal/netclient for the two
+// endpoints, and README.md ("Running the cache as a server") for a
+// walkthrough.
 package repro

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hint"
 	"repro/internal/policy"
@@ -30,9 +31,23 @@ type Sharded struct {
 
 // shardedShard pairs one Cache partition with its lock. Padding the mutex
 // is unnecessary: the Cache maps behind it dominate cache-line traffic.
+//
+// The counters mirror the shard's accounting so that cross-shard snapshots
+// (Stats, Len, OutqueueLen, Windows) are plain atomic loads instead of a
+// sweep that takes every shard lock: the network server reads them on every
+// response batch. They are written only while mu is held, so each counter
+// is internally exact; a snapshot across counters is consistent up to
+// in-flight requests on other shards.
 type shardedShard struct {
 	mu sync.Mutex
 	c  *Cache
+
+	reads    atomic.Uint64
+	readHits atomic.Uint64
+	writes   atomic.Uint64
+	len      atomic.Int64
+	outq     atomic.Int64
+	windows  atomic.Int64
 }
 
 var _ policy.Policy = (*Sharded)(nil)
@@ -120,20 +135,28 @@ func (s *Sharded) Access(r trace.Request) bool {
 	sh := &s.shards[s.ShardFor(r.Page)]
 	sh.mu.Lock()
 	hit := sh.c.Access(r)
+	sh.len.Store(int64(sh.c.Len()))
+	sh.outq.Store(int64(sh.c.OutqueueLen()))
+	sh.windows.Store(int64(sh.c.Windows()))
+	if r.Op == trace.Read {
+		sh.reads.Add(1)
+		if hit {
+			sh.readHits.Add(1)
+		}
+	} else {
+		sh.writes.Add(1)
+	}
 	sh.mu.Unlock()
 	return hit
 }
 
 // Len implements policy.Policy, summing the shards' cached-page counts.
 func (s *Sharded) Len() int {
-	n := 0
+	n := int64(0)
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		n += sh.c.Len()
-		sh.mu.Unlock()
+		n += s.shards[i].len.Load()
 	}
-	return n
+	return int(n)
 }
 
 // Capacity implements policy.Policy, returning the front's total capacity.
@@ -145,26 +168,71 @@ func (s *Sharded) Shards() int { return len(s.shards) }
 // Windows returns the total number of completed statistics windows across
 // all shards.
 func (s *Sharded) Windows() int {
-	n := 0
+	n := int64(0)
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		n += sh.c.Windows()
-		sh.mu.Unlock()
+		n += s.shards[i].windows.Load()
 	}
-	return n
+	return int(n)
 }
 
 // OutqueueLen returns the total number of outqueue entries across shards.
 func (s *Sharded) OutqueueLen() int {
-	n := 0
+	n := int64(0)
+	for i := range s.shards {
+		n += s.shards[i].outq.Load()
+	}
+	return int(n)
+}
+
+// Stats is a point-in-time snapshot of a Sharded front's accounting.
+type Stats struct {
+	// Requests, Reads, ReadHits, ReadMisses and Writes count every Access
+	// since construction; Requests = Reads + Writes and
+	// Reads = ReadHits + ReadMisses.
+	Requests   uint64
+	Reads      uint64
+	ReadHits   uint64
+	ReadMisses uint64
+	Writes     uint64
+	// Len, OutqueueLen and Windows mirror the like-named methods.
+	Len         int
+	OutqueueLen int
+	Windows     int
+	// Shards and Capacity are the front's fixed configuration.
+	Shards   int
+	Capacity int
+}
+
+// HitRatio returns the snapshot's read hit ratio (0 when no reads yet).
+func (st Stats) HitRatio() float64 {
+	if st.Reads == 0 {
+		return 0
+	}
+	return float64(st.ReadHits) / float64(st.Reads)
+}
+
+// Stats assembles a snapshot from the per-shard counters without taking any
+// shard lock — a handful of atomic loads, cheap enough for a network server
+// to call per response batch. Counters from shards with requests in flight
+// may lag by those requests; each counter is individually exact.
+func (s *Sharded) Stats() Stats {
+	st := Stats{Shards: len(s.shards), Capacity: s.capacity}
 	for i := range s.shards {
 		sh := &s.shards[i]
-		sh.mu.Lock()
-		n += sh.c.OutqueueLen()
-		sh.mu.Unlock()
+		// Load readHits before reads: a concurrent Access bumps reads
+		// first, so hits observed here can only lag the reads observed
+		// next, keeping ReadHits <= Reads (and ReadMisses non-negative)
+		// in every snapshot.
+		st.ReadHits += sh.readHits.Load()
+		st.Reads += sh.reads.Load()
+		st.Writes += sh.writes.Load()
+		st.Len += int(sh.len.Load())
+		st.OutqueueLen += int(sh.outq.Load())
+		st.Windows += int(sh.windows.Load())
 	}
-	return n
+	st.Requests = st.Reads + st.Writes
+	st.ReadMisses = st.Reads - st.ReadHits
+	return st
 }
 
 // WindowStats merges the shards' current-window statistics into cache-wide

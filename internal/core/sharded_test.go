@@ -135,6 +135,57 @@ func TestShardedStableMapping(t *testing.T) {
 	}
 }
 
+// TestShardedStats drives a front serially and checks the snapshot against
+// independently tallied counts and the lock-taking accessors.
+func TestShardedStats(t *testing.T) {
+	s := NewSharded(Config{Capacity: 64, Window: 500}, 4)
+	var reads, hits, writes uint64
+	for _, r := range shardedTrace(20000, 7) {
+		hit := s.Access(r)
+		if r.Op == trace.Read {
+			reads++
+			if hit {
+				hits++
+			}
+		} else {
+			writes++
+		}
+	}
+	st := s.Stats()
+	if st.Reads != reads || st.ReadHits != hits || st.Writes != writes {
+		t.Errorf("Stats = reads %d hits %d writes %d, want %d %d %d",
+			st.Reads, st.ReadHits, st.Writes, reads, hits, writes)
+	}
+	if st.Requests != reads+writes {
+		t.Errorf("Requests = %d, want %d", st.Requests, reads+writes)
+	}
+	if st.ReadMisses != reads-hits {
+		t.Errorf("ReadMisses = %d, want %d", st.ReadMisses, reads-hits)
+	}
+	if st.Len != s.Len() || st.OutqueueLen != s.OutqueueLen() || st.Windows != s.Windows() {
+		t.Errorf("Stats structural fields (%d, %d, %d) disagree with accessors (%d, %d, %d)",
+			st.Len, st.OutqueueLen, st.Windows, s.Len(), s.OutqueueLen(), s.Windows())
+	}
+	if st.Shards != 4 || st.Capacity != 64 {
+		t.Errorf("Shards/Capacity = %d/%d, want 4/64", st.Shards, st.Capacity)
+	}
+	if got := st.HitRatio(); got != float64(hits)/float64(reads) {
+		t.Errorf("HitRatio = %v, want %v", got, float64(hits)/float64(reads))
+	}
+
+	// The per-shard sums must equal the per-shard caches' own accounting.
+	var wantLen, wantOutq, wantWin int
+	for i := range s.shards {
+		wantLen += s.shards[i].c.Len()
+		wantOutq += s.shards[i].c.OutqueueLen()
+		wantWin += s.shards[i].c.Windows()
+	}
+	if st.Len != wantLen || st.OutqueueLen != wantOutq || st.Windows != wantWin {
+		t.Errorf("Stats structural fields (%d, %d, %d) disagree with shard caches (%d, %d, %d)",
+			st.Len, st.OutqueueLen, st.Windows, wantLen, wantOutq, wantWin)
+	}
+}
+
 // TestShardedConcurrent hammers one front from several goroutines (the
 // multi-client serving scenario); run under -race this exercises the
 // per-shard locking. Totals are checked against a serial replay.

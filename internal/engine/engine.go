@@ -140,11 +140,11 @@ func ServeClients(p policy.Policy, t *trace.Trace) sim.Result {
 	if prep, ok := p.(policy.Preparer); ok {
 		prep.Prepare(t.Reqs)
 	}
-	// Split the merged trace back into per-client request streams.
-	streams := make([][]trace.Request, len(t.Clients))
-	for _, r := range t.Reqs {
-		streams[r.Client] = append(streams[r.Client], r)
-	}
+	// Split the merged trace back into per-client request streams. The
+	// network replay (internal/netclient) does the same split, so the
+	// loopback and in-process paths drive the cache with identical
+	// per-client subsequences.
+	streams := t.SplitClients()
 
 	res := sim.Result{
 		Trace:     t.Name,

@@ -161,3 +161,54 @@ func TestServeClients(t *testing.T) {
 		t.Errorf("Policy = %q, want CLIC/4", res.Policy)
 	}
 }
+
+// TestServeClientsMoreClientsThanShards drives a 2-shard front from 6
+// clients, so several client goroutines contend for each shard mutex; under
+// -race (the CI configuration) this exercises the locking in the regime the
+// network server runs in. Per-client read counts must match a serial replay
+// of each client's subsequence exactly.
+func TestServeClientsMoreClientsThanShards(t *testing.T) {
+	parts := make([]*trace.Trace, 6)
+	for i := range parts {
+		parts[i] = testTrace.Truncate(6000)
+		parts[i].Name = string(rune('A' + i))
+	}
+	merged, err := trace.Interleave("SIX", parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewSharded(core.Config{Capacity: 3000, Window: 3000}, 2)
+	res := ServeClients(s, merged)
+
+	if len(res.PerClient) != 6 {
+		t.Fatalf("PerClient has %d entries, want 6", len(res.PerClient))
+	}
+	var reads, hits uint64
+	for c, st := range res.PerClient {
+		wantReads := uint64(0)
+		for _, r := range merged.Reqs {
+			if int(r.Client) == c && r.Op == trace.Read {
+				wantReads++
+			}
+		}
+		if st.Reads != wantReads {
+			t.Errorf("client %d Reads = %d, want %d", c, st.Reads, wantReads)
+		}
+		reads += st.Reads
+		hits += st.ReadHits
+	}
+	if res.Reads != reads || res.ReadHits != hits {
+		t.Errorf("totals (%d, %d) disagree with per-client sums (%d, %d)", res.Reads, res.ReadHits, reads, hits)
+	}
+	if res.ReadHits == 0 {
+		t.Error("no hits at all; cache is not being exercised")
+	}
+	// The Stats snapshot must agree with the per-client accounting.
+	st := s.Stats()
+	if st.Reads != res.Reads || st.ReadHits != res.ReadHits {
+		t.Errorf("Stats (%d reads, %d hits) disagree with result (%d, %d)", st.Reads, st.ReadHits, res.Reads, res.ReadHits)
+	}
+	if st.Requests != uint64(merged.Len()) {
+		t.Errorf("Stats.Requests = %d, want %d", st.Requests, merged.Len())
+	}
+}

@@ -23,7 +23,9 @@
 package hintproj
 
 import (
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/hint"
@@ -156,6 +158,11 @@ func (a Analysis) SelectTypes(maxTypes int) []string {
 // (in their original field order). Hint sets that collapse to the same
 // projection share one interned ID, shrinking the hint-set space the
 // server must track. The input trace is not modified.
+//
+// The remap table is built serially (it is dictionary-sized); the
+// request-stream rewrite, which dominates on long traces, fans out across
+// GOMAXPROCS. Chunking cannot change the output — the rewrite is a pure
+// per-request table lookup — so Project stays deterministic.
 func Project(t *trace.Trace, types []string) *trace.Trace {
 	keep := make(map[string]bool, len(types))
 	for _, typ := range types {
@@ -183,10 +190,29 @@ func Project(t *trace.Trace, types []string) *trace.Trace {
 		}
 		remap[id] = out.Dict.Intern(proj)
 	}
-	for i, r := range t.Reqs {
-		r.Hint = remap[r.Hint]
-		out.Reqs[i] = r
+
+	workers := runtime.GOMAXPROCS(0)
+	chunk := (len(t.Reqs) + workers - 1) / workers
+	if chunk < 1 {
+		return out
 	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < len(t.Reqs); lo += chunk {
+		hi := lo + chunk
+		if hi > len(t.Reqs) {
+			hi = len(t.Reqs)
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				r := t.Reqs[i]
+				r.Hint = remap[r.Hint]
+				out.Reqs[i] = r
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
 	return out
 }
 

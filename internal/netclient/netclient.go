@@ -1,0 +1,439 @@
+// Package netclient is the client side of the wire protocol: a thin
+// connection type (Dial/Hello/Announce/Do) for programs that want to talk
+// to a cache server directly, plus trace replay drivers that mirror
+// engine.ServeClients over the network — one connection and one goroutine
+// per trace client, each streaming its own request subsequence and
+// counting hits from the server's responses.
+//
+// Replay takes an in-memory trace; ReplayFile streams one from disk via
+// trace.Scanner, so arbitrarily long traces replay in constant memory.
+// Both return a sim.Result shaped exactly like engine.ServeClients' so the
+// loopback and in-process paths are directly comparable.
+package netclient
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/hint"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Conn is one client connection to a cache server. Not safe for concurrent
+// use; the replay drivers give each goroutine its own Conn.
+type Conn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	ack       wire.HelloAck
+	announced int // hint keys announced so far (Hello + Announce)
+
+	scratch []byte       // frame read buffer
+	enc     []byte       // frame build buffer
+	res     wire.Results // reused results decode target
+}
+
+// Dial connects to a cache server without handshaking; call Hello next.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 1<<16),
+		bw: bufio.NewWriterSize(nc, 1<<16),
+	}, nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.nc.Close() }
+
+// readFrame reads one frame, surfacing server Error frames as errors.
+func (c *Conn) readFrame() ([]byte, error) {
+	p, err := wire.ReadFrame(c.br, c.scratch)
+	if err != nil {
+		return nil, err
+	}
+	c.scratch = p
+	if t, _ := wire.PayloadType(p); t == wire.TypeError {
+		msg, err := wire.DecodeError(p)
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("netclient: server error: %s", msg)
+	}
+	return p, nil
+}
+
+// Hello performs the handshake, announcing the client's name and initial
+// hint vocabulary (requests then reference keys by announcement index).
+func (c *Conn) Hello(client string, keys []string) (wire.HelloAck, error) {
+	c.enc = wire.AppendHello(c.enc[:0], wire.Hello{Version: wire.Version, Client: client, Keys: keys})
+	if err := wire.WriteFrame(c.bw, c.enc); err != nil {
+		return wire.HelloAck{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return wire.HelloAck{}, err
+	}
+	p, err := c.readFrame()
+	if err != nil {
+		return wire.HelloAck{}, err
+	}
+	ack, err := wire.DecodeHelloAck(p)
+	if err != nil {
+		return wire.HelloAck{}, err
+	}
+	if ack.Version != wire.Version {
+		return wire.HelloAck{}, fmt.Errorf("netclient: server speaks protocol %d, want %d", ack.Version, wire.Version)
+	}
+	c.ack = ack
+	c.announced = len(keys)
+	return ack, nil
+}
+
+// Ack returns the handshake response (zero before Hello).
+func (c *Conn) Ack() wire.HelloAck { return c.ack }
+
+// Announced returns how many hint keys this connection has announced.
+func (c *Conn) Announced() int { return c.announced }
+
+// Announce extends the connection's hint table with keys discovered after
+// Hello. The frame is buffered and rides ahead of the next batch; the
+// server sends no reply.
+func (c *Conn) Announce(keys []string) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	c.enc = wire.AppendIntern(c.enc[:0], keys)
+	if err := wire.WriteFrame(c.bw, c.enc); err != nil {
+		return err
+	}
+	c.announced += len(keys)
+	return nil
+}
+
+// Do sends one request batch and returns the server's per-request results.
+// Request Hint fields must index the announced hint table; Client fields
+// are ignored. The returned Results reuses the connection's buffers and is
+// valid until the next Do.
+func (c *Conn) Do(reqs []trace.Request) (wire.Results, error) {
+	c.enc = wire.AppendBatch(c.enc[:0], reqs)
+	if err := wire.WriteFrame(c.bw, c.enc); err != nil {
+		return wire.Results{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return wire.Results{}, err
+	}
+	p, err := c.readFrame()
+	if err != nil {
+		return wire.Results{}, err
+	}
+	res, err := wire.DecodeResults(p, c.res)
+	if err != nil {
+		return wire.Results{}, err
+	}
+	c.res = res
+	if len(res.Hits) != len(reqs) {
+		return wire.Results{}, fmt.Errorf("netclient: %d results for %d requests", len(res.Hits), len(reqs))
+	}
+	return res, nil
+}
+
+// ReplayOptions tune the replay drivers.
+type ReplayOptions struct {
+	// BatchSize is the request count per Batch frame; 0 selects
+	// wire.DefaultBatch.
+	BatchSize int
+	// Limit caps the total number of requests replayed; 0 replays the
+	// whole trace.
+	Limit int
+}
+
+func (o ReplayOptions) batch() int {
+	if o.BatchSize <= 0 {
+		return wire.DefaultBatch
+	}
+	return o.BatchSize
+}
+
+// policyName mirrors core.Sharded.Name from the handshake, so loopback
+// results label themselves like the in-process path.
+func policyName(ack wire.HelloAck) string {
+	if ack.Shards == 1 {
+		return "CLIC"
+	}
+	return fmt.Sprintf("CLIC/%d", ack.Shards)
+}
+
+// runClient replays one client's request stream over one connection,
+// counting read hits from the responses.
+func runClient(addr, name string, keys []string, reqs []trace.Request, batch int, st *sim.ClientStat) (wire.HelloAck, error) {
+	conn, err := Dial(addr)
+	if err != nil {
+		return wire.HelloAck{}, err
+	}
+	defer conn.Close()
+	ack, err := conn.Hello(name, keys)
+	if err != nil {
+		return wire.HelloAck{}, err
+	}
+	for len(reqs) > 0 {
+		n := batch
+		if n > len(reqs) {
+			n = len(reqs)
+		}
+		res, err := conn.Do(reqs[:n])
+		if err != nil {
+			return ack, err
+		}
+		for i, r := range reqs[:n] {
+			if r.Op == trace.Read {
+				st.Reads++
+				if res.Hits[i] {
+					st.ReadHits++
+				}
+			}
+		}
+		reqs = reqs[n:]
+	}
+	return ack, nil
+}
+
+// Replay replays an in-memory trace against the server at addr with one
+// concurrent connection per trace client, engine.ServeClients over the
+// wire. Like ServeClients, per-client read counts are exact while the
+// aggregate hit count depends on how the clients' requests interleave at
+// the server.
+func Replay(addr string, t *trace.Trace, opt ReplayOptions) (sim.Result, error) {
+	if opt.Limit > 0 {
+		t = t.Truncate(opt.Limit)
+	}
+	streams := t.SplitClients()
+	keys := t.Dict.Keys()
+	res := sim.Result{
+		Trace:     t.Name,
+		Requests:  uint64(t.Len()),
+		PerClient: make([]sim.ClientStat, len(streams)),
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		first error
+		ack   wire.HelloAck
+	)
+	for c := range streams {
+		res.PerClient[c].Name = t.Clients[c]
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			a, err := runClient(addr, t.Clients[c], keys, streams[c], opt.batch(), &res.PerClient[c])
+			mu.Lock()
+			if err != nil && first == nil {
+				first = err
+			}
+			if a != (wire.HelloAck{}) {
+				ack = a
+			}
+			mu.Unlock()
+		}(c)
+	}
+	wg.Wait()
+	if first != nil {
+		return sim.Result{}, first
+	}
+	res.Policy = policyName(ack)
+	res.CacheSize = ack.Capacity
+	for _, st := range res.PerClient {
+		res.Reads += st.Reads
+		res.ReadHits += st.ReadHits
+	}
+	return res, nil
+}
+
+// keyLog is the append-only list of hint keys discovered by a streaming
+// scan, shared between the dispatcher (writer) and the per-client senders
+// (readers catching their connections up before each batch).
+type keyLog struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+func (l *keyLog) grow(d *hint.Dict) {
+	l.mu.Lock()
+	for id := len(l.keys); id < d.Len(); id++ {
+		l.keys = append(l.keys, d.Key(hint.ID(id)))
+	}
+	l.mu.Unlock()
+}
+
+// since returns a copy of the keys appended at or after index from.
+func (l *keyLog) since(from int) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from >= len(l.keys) {
+		return nil
+	}
+	out := make([]string, len(l.keys)-from)
+	copy(out, l.keys[from:])
+	return out
+}
+
+// ReplayFile replays a trace file against the server at addr, streaming
+// requests via trace.Scanner so memory stays constant regardless of trace
+// length. Clients and (for text traces) hint sets are discovered as the
+// scan proceeds; newly seen hint keys are announced to the server ahead of
+// the first batch that references them.
+func ReplayFile(addr, path string, opt ReplayOptions) (sim.Result, error) {
+	sc, err := trace.Open(path)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	defer sc.Close()
+
+	type worker struct {
+		ch      chan []trace.Request
+		pending []trace.Request
+		st      *sim.ClientStat
+	}
+	var (
+		log     keyLog
+		workers []*worker
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		first   error
+		ack     wire.HelloAck
+		batch   = opt.batch()
+		stats   []*sim.ClientStat
+		total   uint64
+		dictLen int
+	)
+	log.grow(sc.Dict())
+	dictLen = sc.Dict().Len()
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return first != nil
+	}
+	spawn := func(name string) *worker {
+		w := &worker{ch: make(chan []trace.Request, 4), st: &sim.ClientStat{Name: name}}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			conn, err := Dial(addr)
+			if err != nil {
+				fail(err)
+			} else {
+				defer conn.Close()
+				a, err := conn.Hello(name, log.since(0))
+				if err != nil {
+					fail(err)
+					conn = nil
+				} else {
+					mu.Lock()
+					ack = a
+					mu.Unlock()
+				}
+			}
+			for reqs := range w.ch {
+				if conn == nil || failed() {
+					continue // drain so the dispatcher never blocks
+				}
+				if fresh := log.since(conn.Announced()); len(fresh) > 0 {
+					if err := conn.Announce(fresh); err != nil {
+						fail(err)
+						continue
+					}
+				}
+				res, err := conn.Do(reqs)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				for i, r := range reqs {
+					if r.Op == trace.Read {
+						w.st.Reads++
+						if res.Hits[i] {
+							w.st.ReadHits++
+						}
+					}
+				}
+			}
+		}()
+		return w
+	}
+
+	for sc.Scan() {
+		if opt.Limit > 0 && total >= uint64(opt.Limit) {
+			break
+		}
+		if failed() {
+			break
+		}
+		r := sc.Request()
+		// Only text scans grow the dictionary mid-stream; checking the
+		// length (dictionary mutation happens on this goroutine only)
+		// keeps the keyLog mutex off the per-request path.
+		if n := sc.Dict().Len(); n != dictLen {
+			log.grow(sc.Dict())
+			dictLen = n
+		}
+		c := int(r.Client)
+		for c >= len(workers) {
+			names := sc.Clients()
+			name := fmt.Sprintf("client%d", len(workers))
+			if len(workers) < len(names) {
+				name = names[len(workers)]
+			}
+			w := spawn(name)
+			workers = append(workers, w)
+			stats = append(stats, w.st)
+		}
+		w := workers[c]
+		w.pending = append(w.pending, r)
+		if len(w.pending) >= batch {
+			w.ch <- w.pending
+			w.pending = nil
+		}
+		total++
+	}
+	for _, w := range workers {
+		if len(w.pending) > 0 {
+			w.ch <- w.pending
+		}
+		close(w.ch)
+	}
+	wg.Wait()
+	if err := sc.Err(); err != nil {
+		return sim.Result{}, err
+	}
+	if first != nil {
+		return sim.Result{}, first
+	}
+
+	res := sim.Result{
+		Trace:     sc.Name(),
+		Policy:    policyName(ack),
+		CacheSize: ack.Capacity,
+		Requests:  total,
+		PerClient: make([]sim.ClientStat, len(stats)),
+	}
+	for i, st := range stats {
+		res.PerClient[i] = *st
+		res.Reads += st.Reads
+		res.ReadHits += st.ReadHits
+	}
+	return res, nil
+}

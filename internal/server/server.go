@@ -1,0 +1,452 @@
+// Package server wraps a core.Sharded CLIC front in the hint-carrying TCP
+// page-request protocol of package wire, turning the in-process cache into
+// the storage server the paper describes: many clients connect, stream
+// (page, hint set) request batches, and get hit/miss verdicts back, while
+// the second-tier cache learns caching priorities from the hints.
+//
+// One connection is one client. The handshake interns the client's hint
+// vocabulary into the server-wide dictionary once, so the per-request hot
+// path is a table lookup plus a core.Sharded access — connections touching
+// different shards proceed in parallel, exactly like engine.ServeClients'
+// in-process goroutines. Per-client read accounting matches ServeClients'
+// sim.ClientStat bookkeeping so loopback replays are comparable to the
+// in-process path.
+//
+// A second, optional HTTP listener exposes live stats (hits, misses,
+// outqueue depth, per-window hint statistics) as JSON at /stats.
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/hint"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Config parameterises a cache server.
+type Config struct {
+	// Cache is the CLIC configuration of the backing core.Sharded front.
+	Cache core.Config
+	// Shards is the shard count; 0 selects 8. One shard still serves
+	// concurrent connections correctly (it degenerates to a mutex-guarded
+	// cache), it just serializes them.
+	Shards int
+	// MaxHintKeys bounds how many hint keys one connection may announce
+	// (Hello plus Intern frames); 0 selects DefaultMaxHintKeys. The server
+	// dictionary interns announced keys permanently, so this is the lever
+	// that keeps a misbehaving client from growing server memory without
+	// bound. The paper's workloads carry tens of distinct hint sets.
+	MaxHintKeys int
+}
+
+// DefaultMaxHintKeys is the per-connection hint-vocabulary bound when
+// Config.MaxHintKeys is zero — far above any real workload (Figure 2's
+// vocabularies are in the tens) but small enough that no connection can
+// intern unbounded state into the shared dictionary.
+const DefaultMaxHintKeys = 1 << 20
+
+// clientTotals is the merged read accounting for one client name across all
+// of its (past and present) connections.
+type clientTotals struct {
+	reads    uint64
+	readHits uint64
+}
+
+// Server is a TCP cache server. Create with New, wire up listeners with
+// Listen/ListenAdmin (or Start), then Serve.
+type Server struct {
+	cache       *core.Sharded
+	maxHintKeys int
+
+	ln      net.Listener
+	adminLn net.Listener
+
+	mu      sync.Mutex
+	dict    *hint.Dict
+	clients map[string]*clientTotals
+	conns   map[net.Conn]struct{}
+	closed  bool
+
+	wg sync.WaitGroup
+}
+
+// New returns an unstarted server over a fresh core.Sharded front.
+func New(cfg Config) *Server {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 8
+	}
+	maxKeys := cfg.MaxHintKeys
+	if maxKeys <= 0 {
+		maxKeys = DefaultMaxHintKeys
+	}
+	return &Server{
+		cache:       core.NewSharded(cfg.Cache, shards),
+		maxHintKeys: maxKeys,
+		dict:        hint.NewDict(),
+		clients:     make(map[string]*clientTotals),
+		conns:       make(map[net.Conn]struct{}),
+	}
+}
+
+// Cache exposes the backing sharded front (read-mostly use: stats, tests).
+func (s *Server) Cache() *core.Sharded { return s.cache }
+
+// Listen binds the page-request listener (e.g. ":7070", "127.0.0.1:0").
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	return nil
+}
+
+// Addr returns the page-request listener's address (nil before Listen).
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAdmin binds the admin HTTP listener and starts serving /stats on it.
+func (s *Server) ListenAdmin(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.adminLn = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", s.handleStats)
+	srv := &http.Server{Handler: mux}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		// ErrServerClosed etc. surface when the listener closes; Serve's
+		// lifetime is bounded by Close.
+		_ = srv.Serve(ln)
+	}()
+	return nil
+}
+
+// AdminAddr returns the admin listener's address (nil when not listening).
+func (s *Server) AdminAddr() net.Addr {
+	if s.adminLn == nil {
+		return nil
+	}
+	return s.adminLn.Addr()
+}
+
+// Start is the one-call setup used by tests and the loopback tools: bind
+// the page-request listener and run the accept loop in the background.
+func (s *Server) Start(addr string) error {
+	if err := s.Listen(addr); err != nil {
+		return err
+	}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = s.Serve()
+	}()
+	return nil
+}
+
+// Serve accepts connections until the listener closes (via Close).
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close shuts the listeners, disconnects every client, and waits for the
+// connection handlers to drain. The cache and its statistics survive Close
+// so final numbers can still be read.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	ln, adminLn := s.ln, s.adminLn
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	if adminLn != nil {
+		if e := adminLn.Close(); err == nil {
+			err = e
+		}
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// intern maps announced hint keys to server-wide hint IDs, appending to the
+// connection's remap table.
+func (s *Server) intern(remap []hint.ID, keys []string) []hint.ID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, k := range keys {
+		remap = append(remap, s.dict.InternKey(k))
+	}
+	return remap
+}
+
+// mergeClient folds one finished connection's accounting into the by-name
+// totals.
+func (s *Server) mergeClient(name string, reads, readHits uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ct, ok := s.clients[name]
+	if !ok {
+		ct = &clientTotals{}
+		s.clients[name] = ct
+	}
+	ct.reads += reads
+	ct.readHits += readHits
+}
+
+// handle runs one connection's request loop.
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	br := bufio.NewReaderSize(conn, 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<16)
+
+	fail := func(msg string) {
+		// Best-effort error report; the connection is going away either way.
+		if err := wire.WriteFrame(bw, wire.AppendError(nil, msg)); err == nil {
+			bw.Flush()
+		}
+	}
+
+	payload, err := wire.ReadFrame(br, nil)
+	if err != nil {
+		return
+	}
+	hello, err := wire.DecodeHello(payload)
+	if err != nil {
+		fail(err.Error())
+		return
+	}
+	if hello.Version != wire.Version {
+		fail(fmt.Sprintf("unsupported protocol version %d (server speaks %d)", hello.Version, wire.Version))
+		return
+	}
+	if len(hello.Keys) > s.maxHintKeys {
+		fail(fmt.Sprintf("hint vocabulary %d exceeds limit %d", len(hello.Keys), s.maxHintKeys))
+		return
+	}
+	remap := s.intern(nil, hello.Keys)
+	ack := wire.AppendHelloAck(nil, wire.HelloAck{
+		Version:  wire.Version,
+		Shards:   s.cache.Shards(),
+		Capacity: s.cache.Capacity(),
+	})
+	if err := wire.WriteFrame(bw, ack); err != nil {
+		return
+	}
+	if err := bw.Flush(); err != nil {
+		return
+	}
+
+	var (
+		reqs []trace.Request
+		hits []bool
+		out  []byte
+	)
+	for {
+		payload, err = wire.ReadFrame(br, payload)
+		if err != nil {
+			return // io.EOF is the clean goodbye; anything else, same exit
+		}
+		t, err := wire.PayloadType(payload)
+		if err != nil {
+			fail(err.Error())
+			return
+		}
+		switch t {
+		case wire.TypeIntern:
+			keys, err := wire.DecodeIntern(payload)
+			if err != nil {
+				fail(err.Error())
+				return
+			}
+			if len(remap)+len(keys) > s.maxHintKeys {
+				fail(fmt.Sprintf("hint vocabulary %d exceeds limit %d", len(remap)+len(keys), s.maxHintKeys))
+				return
+			}
+			remap = s.intern(remap, keys)
+		case wire.TypeBatch:
+			reqs, err = wire.DecodeBatch(payload, reqs)
+			if err != nil {
+				fail(err.Error())
+				return
+			}
+			if cap(hits) < len(reqs) {
+				hits = make([]bool, len(reqs))
+			}
+			hits = hits[:len(reqs)]
+			var reads, readHits uint64
+			for i, r := range reqs {
+				if int(r.Hint) >= len(remap) {
+					fail(fmt.Sprintf("hint index %d not announced (table has %d)", r.Hint, len(remap)))
+					return
+				}
+				r.Hint = remap[r.Hint]
+				hit := s.cache.Access(r)
+				hits[i] = hit
+				if r.Op == trace.Read {
+					reads++
+					if hit {
+						readHits++
+					}
+				}
+			}
+			// Fold the batch into the by-client totals before responding,
+			// so once a client has its results the admin snapshot already
+			// reflects them: Snapshot sums equal client-side accounting
+			// the moment a replay returns.
+			s.mergeClient(hello.Client, reads, readHits)
+			out = wire.AppendResults(out[:0], wire.Results{
+				Hits:          hits,
+				OutqueueDepth: s.cache.OutqueueLen(),
+			})
+			if err := wire.WriteFrame(bw, out); err != nil {
+				return
+			}
+			if err := bw.Flush(); err != nil {
+				return
+			}
+		default:
+			fail(fmt.Sprintf("unexpected frame type %d", t))
+			return
+		}
+	}
+}
+
+// ClientSnapshot is one client's merged read accounting.
+type ClientSnapshot struct {
+	Name     string `json:"name"`
+	Reads    uint64 `json:"reads"`
+	ReadHits uint64 `json:"readHits"`
+}
+
+// WindowStatSnapshot is one hint set's current-window statistics with the
+// hint key resolved against the server dictionary.
+type WindowStatSnapshot struct {
+	Key string  `json:"key"`
+	N   uint64  `json:"n"`
+	Nr  uint64  `json:"nr"`
+	D   float64 `json:"d"`
+	Pr  float64 `json:"pr"`
+}
+
+// Snapshot is the admin view of a running server.
+type Snapshot struct {
+	Policy      string               `json:"policy"`
+	Core        core.Stats           `json:"core"`
+	Clients     []ClientSnapshot     `json:"clients"`
+	WindowStats []WindowStatSnapshot `json:"windowStats,omitempty"`
+}
+
+// Snapshot assembles the admin view. topHints bounds the per-window hint
+// statistics (0 omits them; they take every shard lock).
+func (s *Server) Snapshot(topHints int) Snapshot {
+	snap := Snapshot{
+		Policy: s.cache.Name(),
+		Core:   s.cache.Stats(),
+	}
+	var ws []core.HintStat
+	if topHints > 0 {
+		ws = s.cache.WindowStats()
+		if len(ws) > topHints {
+			ws = ws[:topHints]
+		}
+	}
+	s.mu.Lock()
+	for name, ct := range s.clients {
+		snap.Clients = append(snap.Clients, ClientSnapshot{Name: name, Reads: ct.reads, ReadHits: ct.readHits})
+	}
+	for _, hs := range ws {
+		snap.WindowStats = append(snap.WindowStats, WindowStatSnapshot{
+			Key: s.dict.Key(hs.Hint), N: hs.N, Nr: hs.Nr, D: hs.D, Pr: hs.Pr,
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(snap.Clients, func(i, j int) bool { return snap.Clients[i].Name < snap.Clients[j].Name })
+	return snap
+}
+
+// handleStats serves the snapshot as JSON. ?top=N bounds the hint-set
+// statistics (default 20).
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	top := 20
+	if v := r.URL.Query().Get("top"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			http.Error(w, "bad top parameter", http.StatusBadRequest)
+			return
+		}
+		top = n
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	// A write error here means the client went away mid-response; there is
+	// no one left to report it to.
+	_ = enc.Encode(s.Snapshot(top))
+}

@@ -1,0 +1,318 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/hint"
+)
+
+// Scanner iterates the requests of a trace file one at a time, without ever
+// materialising the request slice: memory stays constant no matter how long
+// the trace is, which is what paper-scale traces (hundreds of millions of
+// requests) and the network replay path need. Both trace formats are
+// supported; the format is sniffed from the leading bytes.
+//
+// For the binary format the header (name, page size, clients, hint
+// dictionary, request count) is decoded eagerly by NewScanner, so Dict and
+// Clients are complete before the first Scan. For the text format the
+// dictionary and client list grow as records are scanned, mirroring
+// ReadText.
+type Scanner struct {
+	closer io.Closer // non-nil when the Scanner owns the underlying file
+	br     *bufio.Reader
+	binary bool
+
+	name     string
+	pageSize int
+	clients  []string
+	dict     *hint.Dict
+
+	// Binary decoding state.
+	total     uint64 // declared request count
+	remaining uint64
+	prevPage  int64
+
+	// Text decoding state.
+	headerDone bool
+	lineNo     int
+
+	cur Request
+	err error
+}
+
+// Open returns a Scanner over the trace file at path. Closing the Scanner
+// closes the file.
+func Open(path string) (*Scanner, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewScanner(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.closer = f
+	return s, nil
+}
+
+// NewScanner returns a Scanner over a trace stream in either the binary or
+// the text format (sniffed from the first bytes; binary starts with the
+// magic string).
+func NewScanner(r io.Reader) (*Scanner, error) {
+	s := &Scanner{br: bufio.NewReaderSize(r, 1<<20), dict: hint.NewDict()}
+	head, err := s.br.Peek(len(binaryMagic))
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("trace: sniffing format: %w", err)
+	}
+	if string(head) == binaryMagic {
+		s.binary = true
+		if err := s.readBinaryHeader(); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	// Text traces default like ReadText and refine from header lines.
+	s.name = "trace"
+	s.pageSize = 4096
+	return s, nil
+}
+
+func (s *Scanner) readBinaryHeader() error {
+	if _, err := s.br.Discard(len(binaryMagic)); err != nil {
+		return fmt.Errorf("trace: reading magic: %w", err)
+	}
+	readString := func() (string, error) {
+		n, err := binary.ReadUvarint(s.br)
+		if err != nil {
+			return "", err
+		}
+		b := make([]byte, n)
+		if _, err := io.ReadFull(s.br, b); err != nil {
+			return "", err
+		}
+		return string(b), nil
+	}
+	var err error
+	if s.name, err = readString(); err != nil {
+		return fmt.Errorf("trace: reading name: %w", err)
+	}
+	pageSize, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return fmt.Errorf("trace: reading page size: %w", err)
+	}
+	s.pageSize = int(pageSize)
+	nClients, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return fmt.Errorf("trace: reading client count: %w", err)
+	}
+	s.clients = make([]string, nClients)
+	for i := range s.clients {
+		if s.clients[i], err = readString(); err != nil {
+			return fmt.Errorf("trace: reading client %d: %w", i, err)
+		}
+	}
+	nKeys, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		return fmt.Errorf("trace: reading dict size: %w", err)
+	}
+	for i := uint64(0); i < nKeys; i++ {
+		k, err := readString()
+		if err != nil {
+			return fmt.Errorf("trace: reading hint key %d: %w", i, err)
+		}
+		if got := s.dict.InternKey(k); got != hint.ID(i) {
+			return fmt.Errorf("trace: duplicate hint key %q in dictionary", k)
+		}
+	}
+	if s.total, err = binary.ReadUvarint(s.br); err != nil {
+		return fmt.Errorf("trace: reading request count: %w", err)
+	}
+	s.remaining = s.total
+	return nil
+}
+
+// Scan advances to the next request, returning false at end of trace or on
+// error (distinguish with Err).
+func (s *Scanner) Scan() bool {
+	if s.err != nil {
+		return false
+	}
+	if s.binary {
+		return s.scanBinary()
+	}
+	return s.scanText()
+}
+
+func (s *Scanner) scanBinary() bool {
+	if s.remaining == 0 {
+		return false
+	}
+	i := s.total - s.remaining
+	flags, err := s.br.ReadByte()
+	if err != nil {
+		s.err = fmt.Errorf("trace: reading request %d flags: %w", i, err)
+		return false
+	}
+	client, err := s.br.ReadByte()
+	if err != nil {
+		s.err = fmt.Errorf("trace: reading request %d client: %w", i, err)
+		return false
+	}
+	delta, err := binary.ReadVarint(s.br)
+	if err != nil {
+		s.err = fmt.Errorf("trace: reading request %d page: %w", i, err)
+		return false
+	}
+	s.prevPage += delta
+	h, err := binary.ReadUvarint(s.br)
+	if err != nil {
+		s.err = fmt.Errorf("trace: reading request %d hint: %w", i, err)
+		return false
+	}
+	if h >= uint64(s.dict.Len()) {
+		s.err = fmt.Errorf("trace: request %d references hint %d outside dictionary (len %d)", i, h, s.dict.Len())
+		return false
+	}
+	if int(client) >= len(s.clients) {
+		s.err = fmt.Errorf("trace: request %d references client %d outside Clients (len %d)", i, client, len(s.clients))
+		return false
+	}
+	op := Read
+	if flags&1 != 0 {
+		op = Write
+	}
+	s.cur = Request{Page: uint64(s.prevPage), Hint: hint.ID(h), Op: op, Client: client}
+	s.remaining--
+	return true
+}
+
+func (s *Scanner) scanText() bool {
+	for {
+		line, err := s.br.ReadString('\n')
+		if err == io.EOF && line == "" {
+			return false
+		}
+		if err != nil && err != io.EOF {
+			s.err = err
+			return false
+		}
+		s.lineNo++
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			s.textHeaderLine(line)
+			continue
+		}
+		s.headerDone = true
+		fields := strings.SplitN(line, " ", 4)
+		if len(fields) < 3 {
+			s.err = fmt.Errorf("trace: line %d: malformed record %q", s.lineNo, line)
+			return false
+		}
+		var op Op
+		switch fields[0] {
+		case "R":
+			op = Read
+		case "W":
+			op = Write
+		default:
+			s.err = fmt.Errorf("trace: line %d: bad op %q", s.lineNo, fields[0])
+			return false
+		}
+		page, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			s.err = fmt.Errorf("trace: line %d: bad page: %w", s.lineNo, err)
+			return false
+		}
+		client, err := strconv.ParseUint(fields[2], 10, 8)
+		if err != nil {
+			s.err = fmt.Errorf("trace: line %d: bad client: %w", s.lineNo, err)
+			return false
+		}
+		key := ""
+		if len(fields) == 4 {
+			key = fields[3]
+		}
+		for int(client) >= len(s.clients) {
+			s.clients = append(s.clients, fmt.Sprintf("client%d", len(s.clients)))
+		}
+		s.cur = Request{
+			Page:   page,
+			Hint:   s.dict.InternKey(key),
+			Op:     op,
+			Client: uint8(client),
+		}
+		return true
+	}
+}
+
+func (s *Scanner) textHeaderLine(line string) {
+	if s.headerDone {
+		return // comments after the first record are ignored, as in ReadText
+	}
+	fields := strings.Fields(strings.TrimPrefix(line, "#"))
+	switch {
+	case len(fields) >= 2 && fields[0] == "trace":
+		s.name = fields[1]
+		if len(fields) >= 4 && fields[2] == "pagesize" {
+			if ps, err := strconv.Atoi(fields[3]); err == nil {
+				s.pageSize = ps
+			}
+		}
+	case len(fields) >= 2 && fields[0] == "clients":
+		s.clients = strings.Split(fields[1], ",")
+	}
+}
+
+// Request returns the request produced by the last successful Scan.
+func (s *Scanner) Request() Request { return s.cur }
+
+// Err returns the first error encountered (nil at a clean end of trace).
+func (s *Scanner) Err() error { return s.err }
+
+// Name returns the trace name from the header.
+func (s *Scanner) Name() string { return s.name }
+
+// PageSize returns the block size in bytes from the header.
+func (s *Scanner) PageSize() int { return s.pageSize }
+
+// Clients returns the client names known so far. For binary traces the list
+// is complete before the first Scan; for text traces it may grow as records
+// referencing new clients are scanned. The returned slice is a copy.
+func (s *Scanner) Clients() []string {
+	out := make([]string, len(s.clients))
+	copy(out, s.clients)
+	return out
+}
+
+// Dict returns the scanner's hint dictionary. For binary traces it is
+// complete before the first Scan; for text traces it grows as records
+// intern new hint sets. The caller must not use it concurrently with Scan.
+func (s *Scanner) Dict() *hint.Dict { return s.dict }
+
+// Count returns the trace's declared request count when the format records
+// one (binary), with ok=false otherwise (text).
+func (s *Scanner) Count() (n int, ok bool) {
+	if s.binary {
+		return int(s.total), true
+	}
+	return 0, false
+}
+
+// Close releases the underlying file when the Scanner was built by Open; it
+// is a no-op for NewScanner.
+func (s *Scanner) Close() error {
+	if s.closer == nil {
+		return nil
+	}
+	return s.closer.Close()
+}

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/hint"
+	"repro/internal/randx"
 )
 
 // buildTrace makes a small deterministic trace for tests.
@@ -212,6 +213,77 @@ func TestWithNoiseExtendsHintSets(t *testing.T) {
 		// Page, op, client must be untouched.
 		if r.Page != base.Reqs[i].Page || r.Op != base.Reqs[i].Op {
 			t.Fatal("noise injection altered the request stream")
+		}
+	}
+}
+
+// serialWithNoise is the straightforward one-pass rewrite WithNoise used to
+// be; the parallel implementation must reproduce it bit for bit.
+func serialWithNoise(t *Trace, cfg NoiseConfig) *Trace {
+	out := New(fmt.Sprintf("%s+noise%d", t.Name, cfg.Types), t.PageSize)
+	out.Clients = append([]string(nil), t.Clients...)
+	out.Reqs = make([]Request, len(t.Reqs))
+	rng := randx.New(cfg.Seed)
+	zipf := randx.NewZipf(rng, cfg.Domain, cfg.ZipfS)
+	baseSets := make([]hint.Set, t.Dict.Len())
+	for id, key := range t.Dict.Keys() {
+		s, err := hint.Parse(key)
+		if err != nil {
+			panic(err)
+		}
+		baseSets[id] = s
+	}
+	names := make([]string, cfg.Types)
+	for j := range names {
+		names[j] = fmt.Sprintf("noise%d", j)
+	}
+	vals := make([]string, cfg.Types)
+	for i, r := range t.Reqs {
+		for j := 0; j < cfg.Types; j++ {
+			vals[j] = fmt.Sprintf("v%d", zipf.Next())
+		}
+		s := baseSets[r.Hint]
+		ext := make(hint.Set, 0, len(s)+cfg.Types)
+		ext = append(ext, s...)
+		for j := 0; j < cfg.Types; j++ {
+			ext = append(ext, hint.Field{Type: names[j], Value: vals[j]})
+		}
+		r.Hint = out.Dict.Intern(ext)
+		out.Reqs[i] = r
+	}
+	return out
+}
+
+// TestWithNoiseMatchesSerial checks the parallel rewrite against the serial
+// reference on a trace long enough to span several chunks, so the
+// chunk-local dictionaries and the ordered merge are actually exercised.
+func TestWithNoiseMatchesSerial(t *testing.T) {
+	n := 3*noiseChunk + 1234
+	if testing.Short() {
+		n = noiseChunk + 77
+	}
+	base := buildTrace("big", n, 5)
+	cfg := NoiseConfig{Types: 2, Domain: 6, ZipfS: 1, Seed: 99}
+	got, err := WithNoise(base, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialWithNoise(base, cfg)
+	if got.Len() != want.Len() {
+		t.Fatalf("length %d, want %d", got.Len(), want.Len())
+	}
+	for i := range got.Reqs {
+		if got.Reqs[i] != want.Reqs[i] {
+			t.Fatalf("request %d = %+v, want %+v", i, got.Reqs[i], want.Reqs[i])
+		}
+	}
+	gk, wk := got.Dict.Keys(), want.Dict.Keys()
+	if len(gk) != len(wk) {
+		t.Fatalf("dictionary has %d keys, want %d", len(gk), len(wk))
+	}
+	for i := range gk {
+		if gk[i] != wk[i] {
+			t.Fatalf("dictionary key %d = %q, want %q (ID assignment order diverged)", i, gk[i], wk[i])
 		}
 	}
 }

@@ -1,0 +1,440 @@
+// Package wire defines the length-prefixed binary protocol spoken between
+// the network cache server (internal/server) and its clients
+// (internal/netclient). The codec is shared by both sides so the two can
+// never drift apart.
+//
+// Every frame is a uvarint payload length followed by the payload; the
+// payload's first byte is the frame type. Bodies (all integers are varints
+// unless noted; strings are uvarint length + bytes):
+//
+//	Hello    (client→server)  version, client name, hint key count, keys
+//	HelloAck (server→client)  version, shard count, capacity
+//	Intern   (client→server)  hint key count, keys — appended to the
+//	                          connection's hint table, so clients may
+//	                          announce hint sets discovered mid-stream
+//	Batch    (client→server)  request count, then per request:
+//	                            flags byte (bit0 = write),
+//	                            page delta (zig-zag varint vs the previous
+//	                            page in the batch, starting from 0),
+//	                            hint ID (index into the hint table built
+//	                            by Hello/Intern, in announcement order)
+//	Results  (server→client)  result count, outqueue depth, then a hit
+//	                          bitmap of ceil(count/8) bytes (LSB first)
+//	Error    (server→client)  message — sent before the server closes a
+//	                          misbehaving connection
+//
+// The client ID is implicit: one connection is one client. Page numbers are
+// delta-encoded within each batch because clients issue runs of sequential
+// pages (scans, prefetch), exactly as in the binary trace file format. The
+// outqueue depth in Results is the server's CLIC outqueue fill level — a
+// hint back to clients about how much uncached-page history the server is
+// retaining.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/hint"
+	"repro/internal/trace"
+)
+
+// Version is the protocol version exchanged in Hello/HelloAck.
+const Version = 1
+
+// MaxFrame bounds a frame's payload size; both sides reject larger frames
+// rather than allocating unbounded memory on malformed or hostile input.
+const MaxFrame = 1 << 24
+
+// DefaultBatch is the request count per Batch frame used by clients that do
+// not choose their own batching.
+const DefaultBatch = 512
+
+// Frame types (the first payload byte).
+const (
+	TypeHello    byte = 1
+	TypeHelloAck byte = 2
+	TypeIntern   byte = 3
+	TypeBatch    byte = 4
+	TypeResults  byte = 5
+	TypeError    byte = 6
+)
+
+// Hello opens a connection: the client names itself and announces the hint
+// sets (canonical hint.Set keys) it will reference by index.
+type Hello struct {
+	Version int
+	Client  string
+	Keys    []string
+}
+
+// HelloAck is the server's response to Hello.
+type HelloAck struct {
+	Version  int
+	Shards   int
+	Capacity int
+}
+
+// Results carries the per-request outcomes of one Batch.
+type Results struct {
+	// Hits holds one hit/miss flag per request, in batch order.
+	Hits []bool
+	// OutqueueDepth is the server's CLIC outqueue fill level after the
+	// batch (see core.Stats.OutqueueLen).
+	OutqueueDepth int
+}
+
+// WriteFrame writes one length-prefixed frame. The caller flushes.
+func WriteFrame(w *bufio.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame payload %d exceeds limit %d", len(payload), MaxFrame)
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
+	if _, err := w.Write(lenBuf[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame's payload, reusing buf when it is large enough.
+// io.EOF is returned unwrapped when the stream ends cleanly between frames.
+func ReadFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: reading frame length: %w", err)
+	}
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame payload %d exceeds limit %d", n, MaxFrame)
+	}
+	if uint64(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("wire: reading frame payload: %w", err)
+	}
+	return buf, nil
+}
+
+// PayloadType returns the frame type of a payload.
+func PayloadType(p []byte) (byte, error) {
+	if len(p) == 0 {
+		return 0, fmt.Errorf("wire: empty frame")
+	}
+	return p[0], nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+// decoder consumes varint-encoded fields from a payload.
+type decoder struct {
+	p   []byte
+	off int
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(d.p[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: truncated varint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	v, n := binary.Varint(d.p[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("wire: truncated varint at offset %d", d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decoder) byte() (byte, error) {
+	if d.off >= len(d.p) {
+		return 0, fmt.Errorf("wire: truncated frame at offset %d", d.off)
+	}
+	b := d.p[d.off]
+	d.off++
+	return b, nil
+}
+
+func (d *decoder) string() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(d.p)-d.off) < n {
+		return "", fmt.Errorf("wire: string of %d bytes overruns frame", n)
+	}
+	s := string(d.p[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s, nil
+}
+
+func (d *decoder) strings() ([]string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// Each string costs at least its length byte; bound the allocation by
+	// what the frame could possibly hold.
+	if n > uint64(len(d.p)-d.off) {
+		return nil, fmt.Errorf("wire: %d strings overrun frame", n)
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		s, err := d.string()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (d *decoder) done() error {
+	if d.off != len(d.p) {
+		return fmt.Errorf("wire: %d trailing bytes after frame body", len(d.p)-d.off)
+	}
+	return nil
+}
+
+func expect(p []byte, t byte) (*decoder, error) {
+	got, err := PayloadType(p)
+	if err != nil {
+		return nil, err
+	}
+	if got != t {
+		return nil, fmt.Errorf("wire: frame type %d, want %d", got, t)
+	}
+	return &decoder{p: p, off: 1}, nil
+}
+
+// AppendHello encodes a Hello payload.
+func AppendHello(dst []byte, h Hello) []byte {
+	dst = append(dst, TypeHello)
+	dst = binary.AppendUvarint(dst, uint64(h.Version))
+	dst = appendString(dst, h.Client)
+	dst = binary.AppendUvarint(dst, uint64(len(h.Keys)))
+	for _, k := range h.Keys {
+		dst = appendString(dst, k)
+	}
+	return dst
+}
+
+// DecodeHello decodes a Hello payload.
+func DecodeHello(p []byte) (Hello, error) {
+	d, err := expect(p, TypeHello)
+	if err != nil {
+		return Hello{}, err
+	}
+	var h Hello
+	v, err := d.uvarint()
+	if err != nil {
+		return Hello{}, err
+	}
+	h.Version = int(v)
+	if h.Client, err = d.string(); err != nil {
+		return Hello{}, err
+	}
+	if h.Keys, err = d.strings(); err != nil {
+		return Hello{}, err
+	}
+	return h, d.done()
+}
+
+// AppendHelloAck encodes a HelloAck payload.
+func AppendHelloAck(dst []byte, a HelloAck) []byte {
+	dst = append(dst, TypeHelloAck)
+	dst = binary.AppendUvarint(dst, uint64(a.Version))
+	dst = binary.AppendUvarint(dst, uint64(a.Shards))
+	dst = binary.AppendUvarint(dst, uint64(a.Capacity))
+	return dst
+}
+
+// DecodeHelloAck decodes a HelloAck payload.
+func DecodeHelloAck(p []byte) (HelloAck, error) {
+	d, err := expect(p, TypeHelloAck)
+	if err != nil {
+		return HelloAck{}, err
+	}
+	var a HelloAck
+	for _, f := range []*int{&a.Version, &a.Shards, &a.Capacity} {
+		v, err := d.uvarint()
+		if err != nil {
+			return HelloAck{}, err
+		}
+		*f = int(v)
+	}
+	return a, d.done()
+}
+
+// AppendIntern encodes an Intern payload announcing additional hint keys.
+func AppendIntern(dst []byte, keys []string) []byte {
+	dst = append(dst, TypeIntern)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendString(dst, k)
+	}
+	return dst
+}
+
+// DecodeIntern decodes an Intern payload.
+func DecodeIntern(p []byte) ([]string, error) {
+	d, err := expect(p, TypeIntern)
+	if err != nil {
+		return nil, err
+	}
+	keys, err := d.strings()
+	if err != nil {
+		return nil, err
+	}
+	return keys, d.done()
+}
+
+// AppendBatch encodes a Batch payload. Request Client fields are ignored:
+// the connection identifies the client.
+func AppendBatch(dst []byte, reqs []trace.Request) []byte {
+	dst = append(dst, TypeBatch)
+	dst = binary.AppendUvarint(dst, uint64(len(reqs)))
+	prev := uint64(0)
+	for _, r := range reqs {
+		flags := byte(0)
+		if r.Op == trace.Write {
+			flags |= 1
+		}
+		dst = append(dst, flags)
+		dst = binary.AppendVarint(dst, int64(r.Page)-int64(prev))
+		prev = r.Page
+		dst = binary.AppendUvarint(dst, uint64(r.Hint))
+	}
+	return dst
+}
+
+// DecodeBatch decodes a Batch payload into dst (reused when large enough).
+// Decoded requests carry Client 0; the receiver attributes them to the
+// connection's client.
+func DecodeBatch(p []byte, dst []trace.Request) ([]trace.Request, error) {
+	d, err := expect(p, TypeBatch)
+	if err != nil {
+		return nil, err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	// A record is at least 3 bytes (flags + delta + hint).
+	if n > uint64(len(p))/3+1 {
+		return nil, fmt.Errorf("wire: batch of %d requests overruns frame", n)
+	}
+	if uint64(cap(dst)) < n {
+		dst = make([]trace.Request, n)
+	}
+	dst = dst[:n]
+	prev := int64(0)
+	for i := range dst {
+		flags, err := d.byte()
+		if err != nil {
+			return nil, err
+		}
+		delta, err := d.varint()
+		if err != nil {
+			return nil, err
+		}
+		prev += delta
+		h, err := d.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if h > uint64(^hint.ID(0)) {
+			return nil, fmt.Errorf("wire: hint ID %d overflows", h)
+		}
+		op := trace.Read
+		if flags&1 != 0 {
+			op = trace.Write
+		}
+		dst[i] = trace.Request{Page: uint64(prev), Hint: hint.ID(h), Op: op}
+	}
+	return dst, d.done()
+}
+
+// AppendResults encodes a Results payload.
+func AppendResults(dst []byte, r Results) []byte {
+	dst = append(dst, TypeResults)
+	dst = binary.AppendUvarint(dst, uint64(len(r.Hits)))
+	dst = binary.AppendUvarint(dst, uint64(r.OutqueueDepth))
+	var cur byte
+	for i, hit := range r.Hits {
+		if hit {
+			cur |= 1 << (i % 8)
+		}
+		if i%8 == 7 {
+			dst = append(dst, cur)
+			cur = 0
+		}
+	}
+	if len(r.Hits)%8 != 0 {
+		dst = append(dst, cur)
+	}
+	return dst
+}
+
+// DecodeResults decodes a Results payload, reusing dst.Hits when large
+// enough.
+func DecodeResults(p []byte, dst Results) (Results, error) {
+	d, err := expect(p, TypeResults)
+	if err != nil {
+		return Results{}, err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return Results{}, err
+	}
+	depth, err := d.uvarint()
+	if err != nil {
+		return Results{}, err
+	}
+	words := (n + 7) / 8
+	if uint64(len(p)-d.off) != words {
+		return Results{}, fmt.Errorf("wire: results bitmap has %d bytes, want %d", len(p)-d.off, words)
+	}
+	if uint64(cap(dst.Hits)) < n {
+		dst.Hits = make([]bool, n)
+	}
+	dst.Hits = dst.Hits[:n]
+	for i := range dst.Hits {
+		dst.Hits[i] = p[d.off+i/8]&(1<<(i%8)) != 0
+	}
+	dst.OutqueueDepth = int(depth)
+	return dst, nil
+}
+
+// AppendError encodes an Error payload.
+func AppendError(dst []byte, msg string) []byte {
+	dst = append(dst, TypeError)
+	return appendString(dst, msg)
+}
+
+// DecodeError decodes an Error payload.
+func DecodeError(p []byte) (string, error) {
+	d, err := expect(p, TypeError)
+	if err != nil {
+		return "", err
+	}
+	msg, err := d.string()
+	if err != nil {
+		return "", err
+	}
+	return msg, d.done()
+}

@@ -1,0 +1,267 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestHelloRoundTrip covers Hello and HelloAck encode/decode.
+func TestHelloRoundTrip(t *testing.T) {
+	cases := []Hello{
+		{Version: Version, Client: "DB2_C60", Keys: []string{"", "reqtype=seq", "reqtype=rand|table=stock"}},
+		{Version: 7, Client: "", Keys: nil},
+		{Version: 0, Client: "a client with spaces", Keys: []string{""}},
+	}
+	for _, h := range cases {
+		got, err := DecodeHello(AppendHello(nil, h))
+		if err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		if got.Version != h.Version || got.Client != h.Client || !reflect.DeepEqual(got.Keys, append([]string{}, h.Keys...)) {
+			t.Errorf("round trip: got %+v, want %+v", got, h)
+		}
+	}
+	acks := []HelloAck{{}, {Version: Version, Shards: 8, Capacity: 18000}}
+	for _, a := range acks {
+		got, err := DecodeHelloAck(AppendHelloAck(nil, a))
+		if err != nil {
+			t.Fatalf("%+v: %v", a, err)
+		}
+		if got != a {
+			t.Errorf("round trip: got %+v, want %+v", got, a)
+		}
+	}
+}
+
+// TestInternRoundTrip covers the mid-stream hint announcement frame.
+func TestInternRoundTrip(t *testing.T) {
+	for _, keys := range [][]string{nil, {"a=b"}, {"", "x=y|z=w", "q=1"}} {
+		got, err := DecodeIntern(AppendIntern(nil, keys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(keys) {
+			t.Fatalf("got %d keys, want %d", len(got), len(keys))
+		}
+		for i := range keys {
+			if got[i] != keys[i] {
+				t.Errorf("key %d = %q, want %q", i, got[i], keys[i])
+			}
+		}
+	}
+}
+
+// TestBatchRoundTrip is the table-driven encode/decode check for request
+// batches, including descending pages (negative deltas) and extreme values.
+func TestBatchRoundTrip(t *testing.T) {
+	cases := [][]trace.Request{
+		nil,
+		{{Page: 0, Hint: 0, Op: trace.Read}},
+		{
+			{Page: 100, Hint: 1, Op: trace.Read},
+			{Page: 101, Hint: 1, Op: trace.Read},
+			{Page: 5, Hint: 2, Op: trace.Write},
+			{Page: math.MaxUint64, Hint: math.MaxUint32, Op: trace.Read},
+			{Page: 0, Hint: 0, Op: trace.Write},
+		},
+	}
+	for _, reqs := range cases {
+		got, err := DecodeBatch(AppendBatch(nil, reqs), nil)
+		if err != nil {
+			t.Fatalf("%+v: %v", reqs, err)
+		}
+		if len(got) != len(reqs) {
+			t.Fatalf("got %d requests, want %d", len(got), len(reqs))
+		}
+		for i, r := range reqs {
+			r.Client = 0 // client travels out of band
+			if got[i] != r {
+				t.Errorf("request %d = %+v, want %+v", i, got[i], r)
+			}
+		}
+	}
+}
+
+// TestBatchReuse checks that DecodeBatch reuses a caller-provided buffer.
+func TestBatchReuse(t *testing.T) {
+	reqs := []trace.Request{{Page: 3}, {Page: 9, Op: trace.Write}}
+	buf := make([]trace.Request, 0, 16)
+	got, err := DecodeBatch(AppendBatch(nil, reqs), buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("DecodeBatch did not reuse the provided buffer")
+	}
+}
+
+// TestResultsRoundTrip covers hit bitmaps at every length mod 8.
+func TestResultsRoundTrip(t *testing.T) {
+	for n := 0; n <= 17; n++ {
+		hits := make([]bool, n)
+		for i := range hits {
+			hits[i] = i%3 == 0
+		}
+		in := Results{Hits: hits, OutqueueDepth: n * 1000}
+		got, err := DecodeResults(AppendResults(nil, in), Results{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if got.OutqueueDepth != in.OutqueueDepth {
+			t.Errorf("n=%d: depth %d, want %d", n, got.OutqueueDepth, in.OutqueueDepth)
+		}
+		if len(got.Hits) != n {
+			t.Fatalf("n=%d: got %d hits", n, len(got.Hits))
+		}
+		for i := range hits {
+			if got.Hits[i] != hits[i] {
+				t.Errorf("n=%d: hit %d = %v, want %v", n, i, got.Hits[i], hits[i])
+			}
+		}
+	}
+}
+
+// TestErrorRoundTrip covers the error frame.
+func TestErrorRoundTrip(t *testing.T) {
+	msg, err := DecodeError(AppendError(nil, "bad hint index"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg != "bad hint index" {
+		t.Errorf("got %q", msg)
+	}
+}
+
+// TestFrameIO round-trips several frames through one buffered stream.
+func TestFrameIO(t *testing.T) {
+	var buf bytes.Buffer
+	w := bufio.NewWriter(&buf)
+	payloads := [][]byte{
+		AppendHello(nil, Hello{Version: Version, Client: "c"}),
+		AppendBatch(nil, []trace.Request{{Page: 1}, {Page: 2}}),
+		AppendResults(nil, Results{Hits: []bool{true, false}, OutqueueDepth: 42}),
+	}
+	for _, p := range payloads {
+		if err := WriteFrame(w, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := bufio.NewReader(&buf)
+	var scratch []byte
+	for i, want := range payloads {
+		got, err := ReadFrame(r, scratch)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d: got % x, want % x", i, got, want)
+		}
+		scratch = got
+	}
+	if _, err := ReadFrame(r, scratch); err != io.EOF {
+		t.Errorf("after last frame: err = %v, want io.EOF", err)
+	}
+}
+
+// TestDecodeRejectsGarbage ensures decoders fail cleanly on wrong types,
+// truncation, and trailing bytes instead of panicking or over-allocating.
+func TestDecodeRejectsGarbage(t *testing.T) {
+	hello := AppendHello(nil, Hello{Version: 1, Client: "x", Keys: []string{"a=b"}})
+	batch := AppendBatch(nil, []trace.Request{{Page: 9}})
+	if _, err := DecodeBatch(hello, nil); err == nil {
+		t.Error("DecodeBatch accepted a Hello frame")
+	}
+	if _, err := DecodeHello(batch); err == nil {
+		t.Error("DecodeHello accepted a Batch frame")
+	}
+	if _, err := DecodeHello(nil); err == nil {
+		t.Error("DecodeHello accepted an empty payload")
+	}
+	for cut := 1; cut < len(hello); cut++ {
+		if _, err := DecodeHello(hello[:cut]); err == nil {
+			t.Errorf("DecodeHello accepted a frame truncated at %d", cut)
+		}
+	}
+	if _, err := DecodeHello(append(hello[:len(hello):len(hello)], 0)); err == nil {
+		t.Error("DecodeHello accepted trailing bytes")
+	}
+	// A batch header claiming far more requests than the frame could hold
+	// must fail fast rather than allocate.
+	huge := []byte{TypeBatch, 0xff, 0xff, 0xff, 0xff, 0x0f}
+	if _, err := DecodeBatch(huge, nil); err == nil {
+		t.Error("DecodeBatch accepted an impossible request count")
+	}
+}
+
+// FuzzDecodeBatch throws arbitrary bytes at the batch decoder and, when a
+// payload decodes, re-encodes the result to check the codec closes.
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendBatch(nil, []trace.Request{{Page: 1, Hint: 2}, {Page: 100, Op: trace.Write}}))
+	f.Add([]byte{TypeBatch, 3, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		reqs, err := DecodeBatch(p, nil)
+		if err != nil {
+			return
+		}
+		out, err := DecodeBatch(AppendBatch(nil, reqs), nil)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(out) != len(reqs) {
+			t.Fatalf("re-decode changed length: %d -> %d", len(reqs), len(out))
+		}
+		for i := range reqs {
+			if out[i] != reqs[i] {
+				t.Fatalf("request %d changed: %+v -> %+v", i, reqs[i], out[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeHello does the same for the handshake frame.
+func FuzzDecodeHello(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendHello(nil, Hello{Version: 1, Client: "c", Keys: []string{"a=b", ""}}))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		h, err := DecodeHello(p)
+		if err != nil {
+			return
+		}
+		got, err := DecodeHello(AppendHello(nil, h))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if got.Version != h.Version || got.Client != h.Client || len(got.Keys) != len(h.Keys) {
+			t.Fatalf("round trip changed: %+v -> %+v", h, got)
+		}
+	})
+}
+
+// FuzzDecodeResults covers the bitmap decoder.
+func FuzzDecodeResults(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendResults(nil, Results{Hits: []bool{true, false, true}, OutqueueDepth: 9}))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		r, err := DecodeResults(p, Results{})
+		if err != nil {
+			return
+		}
+		got, err := DecodeResults(AppendResults(nil, r), Results{})
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if got.OutqueueDepth != r.OutqueueDepth || len(got.Hits) != len(r.Hits) {
+			t.Fatalf("round trip changed: %+v -> %+v", r, got)
+		}
+	})
+}
