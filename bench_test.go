@@ -318,3 +318,43 @@ func BenchmarkServeLoopback(b *testing.B) {
 	}
 	reportServeMetrics(b, t, res)
 }
+
+// benchShardedReplay prices the statistics-learning mode on the serial
+// replay path: the same sharded front and trace, differing only in where
+// hint statistics are learned (per-shard partitioned vs shared global).
+func benchShardedReplay(b *testing.B, mode core.StatsMode) {
+	t := serveBenchTrace(b)
+	cfg := serveBenchConfig()
+	cfg.Stats = mode
+	b.ResetTimer()
+	var res sim.Result
+	for i := 0; i < b.N; i++ {
+		res = sim.Run(core.NewSharded(cfg, serveBenchShards), t)
+	}
+	reportServeMetrics(b, t, res)
+}
+
+// BenchmarkShardedPartitioned is the per-shard-learning baseline.
+func BenchmarkShardedPartitioned(b *testing.B) { benchShardedReplay(b, core.StatsPartitioned) }
+
+// BenchmarkShardedGlobal is the same replay with the shared lock-striped
+// learner; the delta against BenchmarkShardedPartitioned is the cost of
+// cache-wide statistics (stripe locks + atomic table loads) without
+// concurrency.
+func BenchmarkShardedGlobal(b *testing.B) { benchShardedReplay(b, core.StatsGlobal) }
+
+// BenchmarkServeClientsGlobal is BenchmarkServeClients with the shared
+// global learner: concurrent client goroutines now contend for the learner
+// stripes as well as the shard mutexes, pricing shared learning in the
+// serving regime it was built for.
+func BenchmarkServeClientsGlobal(b *testing.B) {
+	t := serveBenchTrace(b)
+	cfg := serveBenchConfig()
+	cfg.Stats = core.StatsGlobal
+	b.ResetTimer()
+	var res sim.Result
+	for i := 0; i < b.N; i++ {
+		res = engine.ServeClients(core.NewSharded(cfg, serveBenchShards), t)
+	}
+	reportServeMetrics(b, t, res)
+}

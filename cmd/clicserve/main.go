@@ -7,6 +7,13 @@
 //
 //	clicserve -addr :7070 -cache 18000 -shards 8
 //	clicserve -addr :7070 -admin :7071 -cache 18000 -topk 100 -window 100000
+//	clicserve -addr :7070 -cache 18000 -shards 8 -stats global
+//
+// -stats selects where the sharded front learns its hint statistics:
+// "partitioned" (each shard privately, over a W/N window — the default) or
+// "global" (all shards feed one shared lock-striped learner over the full
+// window W, so the priority model is cache-wide). The admin /stats JSON
+// reports the mode in effect.
 //
 // With -admin set, live statistics (hits, misses, outqueue depth, the
 // current window's per-hint-set statistics) are served as JSON at
@@ -40,14 +47,19 @@ func main() {
 		window = flag.Int("window", 0, "CLIC: statistics window W (0 = default)")
 		decay  = flag.Float64("r", 0, "CLIC: decay parameter r (0 = default 1.0)")
 		noutq  = flag.Int("noutq", 0, "CLIC: outqueue entries (0 = 5 per cache page)")
+		stats  = flag.String("stats", "partitioned", "statistics learning mode across shards (partitioned|global)")
 	)
 	flag.Parse()
+	statsMode, err := core.ParseStatsMode(*stats)
+	if err != nil {
+		fatal(err)
+	}
 
 	// Dock the capacity 1% for CLIC's tracking structures (§6.1), like
 	// every simulated CLIC run, so server hit ratios compare directly to
 	// the in-process grid at the same -cache value.
 	srv := server.New(server.Config{
-		Cache:  core.Config{Capacity: sim.ClicCapacity(*cache), TopK: *topk, Window: *window, R: *decay, Noutq: *noutq},
+		Cache:  core.Config{Capacity: sim.ClicCapacity(*cache), TopK: *topk, Window: *window, R: *decay, Noutq: *noutq, Stats: statsMode},
 		Shards: *shards,
 	})
 	if err := srv.Listen(*addr); err != nil {

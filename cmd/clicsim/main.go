@@ -12,7 +12,10 @@
 // (internal/engine); -workers bounds the pool (default: all cores) and the
 // numbers are identical at any setting. -shards runs CLIC behind the
 // concurrency-safe sharded front (core.Sharded); adding -concurrent drives
-// it with one goroutine per trace client instead of replaying serially.
+// it with one goroutine per trace client instead of replaying serially, and
+// -stats selects where the front learns its hint statistics: "partitioned"
+// (per shard, W/N windows — the default) or "global" (one shared
+// lock-striped learner over the full window W).
 //
 // The simulator also speaks the network protocol (internal/wire):
 //
@@ -56,6 +59,7 @@ func main() {
 		perClient  = flag.Bool("per-client", false, "report per-client hit ratios")
 		workers    = flag.Int("workers", 0, "parallel grid cells (0 = all cores)")
 		shards     = flag.Int("shards", 1, "CLIC: run behind a sharded concurrent front (>1 enables)")
+		stats      = flag.String("stats", "partitioned", "CLIC sharded front: statistics learning mode (partitioned|global)")
 		concurrent = flag.Bool("concurrent", false, "drive the sharded CLIC front with one goroutine per client (requires -shards > 1)")
 		serveAddr  = flag.String("serve", "", "run as a network cache server on this address instead of simulating")
 		connect    = flag.String("connect", "", "replay the trace against a cache server at this address")
@@ -63,9 +67,13 @@ func main() {
 		limit      = flag.Int("limit", 0, "-connect: replay at most this many requests (0 = all)")
 	)
 	flag.Parse()
+	statsMode, err := core.ParseStatsMode(*stats)
+	if err != nil {
+		fatal(err)
+	}
 	if *serveAddr != "" {
 		serve(*serveAddr, *shards, sizesOrDie(*caches),
-			core.Config{TopK: *topk, Window: *window, R: *decay, Noutq: *noutq})
+			core.Config{TopK: *topk, Window: *window, R: *decay, Noutq: *noutq, Stats: statsMode})
 		return
 	}
 	if *tracePath == "" {
@@ -84,7 +92,7 @@ func main() {
 		fatal(err)
 	}
 	sizes := sizesOrDie(*caches)
-	clicCfg := core.Config{TopK: *topk, Window: *window, R: *decay, Noutq: *noutq}
+	clicCfg := core.Config{TopK: *topk, Window: *window, R: *decay, Noutq: *noutq, Stats: statsMode}
 
 	// Build the policy × size grid as engine jobs, each with its own row
 	// metadata so results and labels cannot drift apart.

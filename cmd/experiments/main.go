@@ -12,7 +12,12 @@
 //
 // Each experiment's grid of independent simulations is fanned across a
 // worker pool (internal/engine); -workers bounds the pool (default: all
-// cores). Results are identical at any worker count.
+// cores). The traces the selected experiments replay are also generated up
+// front in parallel (workload.GenerateAll). Results are identical at any
+// worker count.
+//
+// Beyond the paper's figures, -fig learner runs the partitioned-vs-global
+// statistics ablation for the sharded CLIC front (see core.Config.Stats).
 package main
 
 import (
@@ -28,7 +33,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "comma-separated figures to run: 2,3,5,6,7,8,9,10,11,ablations,extension,zoo (empty = all)")
+		fig      = flag.String("fig", "", "comma-separated figures to run: 2,3,5,6,7,8,9,10,11,ablations,learner,extension,zoo (empty = all)")
 		scale    = flag.Float64("scale", 1, "request-count scale factor for quick runs")
 		cacheDir = flag.String("cache", "traces", "trace cache directory (empty = regenerate every run)")
 		mdPath   = flag.String("md", "", "also write all tables as markdown to this file")
@@ -70,8 +75,9 @@ func main() {
 	}
 
 	type step struct {
-		id string
-		fn func() ([]*report.Table, error)
+		id     string
+		traces []string // presets the step replays (prefetched in parallel)
+		fn     func() ([]*report.Table, error)
 	}
 	one := func(fn func() (*report.Table, error)) func() ([]*report.Table, error) {
 		return func() ([]*report.Table, error) {
@@ -82,17 +88,22 @@ func main() {
 			return []*report.Table{t}, nil
 		}
 	}
+	// Step trace lists reference the dependency variables declared next to
+	// the experiment functions in internal/experiments, so the prefetch
+	// cannot drift from what the functions replay.
+	tpccTraces := experiments.TPCCTraceNames
+	tpchTraces := experiments.TPCHTraceNames
 	steps := []step{
-		{"2", env.Fig2},
-		{"3", one(env.Fig3)},
-		{"5", one(env.Fig5)},
-		{"6", env.Fig6},
-		{"7", env.Fig7},
-		{"8", env.Fig8},
-		{"9", env.Fig9},
-		{"10", one(env.Fig10)},
-		{"11", one(env.Fig11)},
-		{"ablations", func() ([]*report.Table, error) {
+		{"2", experiments.Fig2TraceNames, env.Fig2},
+		{"3", []string{experiments.Fig3TraceName}, one(env.Fig3)},
+		{"5", experiments.TraceNames, one(env.Fig5)},
+		{"6", tpccTraces, env.Fig6},
+		{"7", tpchTraces, env.Fig7},
+		{"8", experiments.MySQLTraceNames, env.Fig8},
+		{"9", append(append([]string{}, tpccTraces...), tpchTraces...), env.Fig9},
+		{"10", tpccTraces, one(env.Fig10)},
+		{"11", tpccTraces, one(env.Fig11)},
+		{"ablations", []string{experiments.AblationTraceName}, func() ([]*report.Table, error) {
 			var out []*report.Table
 			for _, fn := range []func() (*report.Table, error){env.AblationR, env.AblationW, env.AblationOutqueue} {
 				t, err := fn()
@@ -103,21 +114,37 @@ func main() {
 			}
 			return out, nil
 		}},
-		{"extension", func() ([]*report.Table, error) {
+		{"learner", []string{experiments.LearnerTraceName}, one(env.AblationLearner)},
+		{"extension", tpccTraces, func() ([]*report.Table, error) {
 			t, err := env.ExtensionGeneralize()
 			if err != nil {
 				return nil, err
 			}
 			return []*report.Table{t}, nil
 		}},
-		{"zoo", func() ([]*report.Table, error) {
-			t, err := env.PolicyZoo("DB2_C300", experiments.MidCacheSize)
+		{"zoo", []string{experiments.AblationTraceName}, func() ([]*report.Table, error) {
+			t, err := env.PolicyZoo(experiments.AblationTraceName, experiments.MidCacheSize)
 			if err != nil {
 				return nil, err
 			}
 			return []*report.Table{t}, nil
 		}},
 	}
+
+	// Generate every trace the selected steps will replay up front, fanned
+	// across the worker pool (simulations were already parallel; this
+	// removes trace generation as the run's serial bottleneck).
+	var wanted []string
+	for _, s := range steps {
+		if run(s.id) {
+			wanted = append(wanted, s.traces...)
+		}
+	}
+	fmt.Fprintln(os.Stderr, "== generating traces ==")
+	if err := env.Prefetch(wanted, *workers); err != nil {
+		fatal(err)
+	}
+
 	for _, s := range steps {
 		if !run(s.id) {
 			continue

@@ -1,0 +1,208 @@
+// Package clicstats is CLIC's hint-statistics learner, factored out of the
+// cache so that priority learning and page placement are independent design
+// axes. The learner owns everything the paper's §3 calls "statistics
+// gathering": the per-window counters N(H), Nr(H) and the re-reference
+// distance sum behind D(H) (Equations 1–2), the Space-Saving top-k summary
+// that bounds them (§5), the window rotation with decay blending r
+// (Equation 3), and the resulting priority table Pr(H).
+//
+// Two implementations of the Learner interface cover the two ends of the
+// sharded-cache design space:
+//
+//   - Partitioned is the classic single-owner learner: not safe for
+//     concurrent use, bit-identical to the bookkeeping that used to be
+//     inlined in core.Cache. A sharded cache gives each shard its own
+//     Partitioned learner over a W/N window — learning is fully
+//     partitioned along with placement.
+//   - Global is a lock-striped, concurrency-safe learner that every shard
+//     of a sharded cache feeds and reads: page placement stays
+//     hash-partitioned while the priority model is learned from the full
+//     cache-wide request stream over the full window W.
+//
+// Driven single-threaded in exact (TopK == 0) mode, Global produces exactly
+// the same priorities as Partitioned; the difference is purely who may call
+// it and which request subsequence it sees.
+//
+// The caller (the cache) remains responsible for page-level work: detecting
+// re-references via its page and outqueue records, and re-keying its victim
+// heap when the priority table changes. The Epoch method makes the latter
+// cheap: the epoch advances on every rotation, so a cache compares it to
+// the epoch it last synced at and rebuilds only then.
+package clicstats
+
+import (
+	"sort"
+
+	"repro/internal/hint"
+)
+
+// Config parameterises a learner. Unlike core.Config it carries no
+// defaults: the cache layer resolves those before constructing a learner.
+type Config struct {
+	// Window is W, the number of requests per statistics window (> 0).
+	Window int
+	// R is the exponential decay parameter r in (0, 1] (Equation 3).
+	R float64
+	// TopK bounds hint-set tracking to the k most frequent hint sets with
+	// the adapted Space-Saving summary (§5); 0 tracks all hint sets.
+	TopK int
+	// Stripes is the lock-stripe count of a Global learner; 0 selects
+	// DefaultStripes. Partitioned ignores it.
+	Stripes int
+}
+
+func (cfg Config) validate() {
+	if cfg.Window <= 0 {
+		panic("clicstats: Window must be positive")
+	}
+	if cfg.R <= 0 || cfg.R > 1 {
+		panic("clicstats: R must be in (0, 1]")
+	}
+}
+
+// Learner accumulates hint-set statistics and serves the priority table
+// learned from them. Arrive/Reref/EndRequest are the per-request hot path;
+// the cache calls them in that order for every request. Whether a Learner
+// tolerates concurrent callers is implementation-defined: Partitioned does
+// not, Global does.
+type Learner interface {
+	// Arrive records one request carrying hint set h (N(H) += 1).
+	Arrive(h hint.ID)
+	// Reref records that a request with hint set h was followed by a read
+	// re-reference at the given distance (Nr(H) += 1, D-sum += dist). In
+	// top-k mode the credit is dropped unless h is currently tracked,
+	// exactly as §5 prescribes.
+	Reref(h hint.ID, dist uint64)
+	// EndRequest counts one request against the window and reports whether
+	// this call closed a window (rotating statistics into the priority
+	// table and advancing the epoch).
+	EndRequest() bool
+	// Priority returns Pr(h) from the table currently in effect.
+	Priority(h hint.ID) float64
+	// Epoch identifies the priority table in effect; it advances by one at
+	// every window rotation. A cache that cached priorities (in its victim
+	// heap) refreshes them when the epoch it last synced at is stale.
+	Epoch() uint64
+	// Windows returns the number of completed statistics windows.
+	Windows() int
+	// Priorities returns a copy of the priority table in effect.
+	Priorities() map[hint.ID]float64
+	// WindowStats snapshots the statistics accumulated so far in the
+	// current window, sorted by descending N.
+	WindowStats() []HintStat
+	// TrackedHintSets returns the number of hint sets with statistics in
+	// the current window (bounded by k in top-k mode).
+	TrackedHintSets() int
+}
+
+// winStats are the per-window statistics for one hint set.
+type winStats struct {
+	n    uint64  // N(H): requests with this hint set this window
+	nr   uint64  // Nr(H): read re-references credited to this hint set
+	dsum float64 // sum of re-reference distances (D(H) = dsum/nr)
+}
+
+// rerefAux is the auxiliary state the adapted Space-Saving algorithm keeps
+// per tracked hint set (§5): read re-references and distance sum
+// accumulated while the hint set was being tracked.
+type rerefAux struct {
+	nr   uint64
+	dsum float64
+}
+
+// windowPriority computes the within-window priority estimate
+// p̂r(H) = fhit(H)/D(H) = (nr/n)/(dsum/nr) = nr² / (n·dsum), Equation 2.
+func windowPriority(n, nr uint64, dsum float64) float64 {
+	if n == 0 || nr == 0 || dsum <= 0 {
+		return 0
+	}
+	return float64(nr) * float64(nr) / (float64(n) * dsum)
+}
+
+// eps is the threshold below which a decayed priority is dropped from the
+// table. A missing entry reads as priority 0, so pruning is invisible to
+// Priority lookups; it only bounds the table's size.
+const eps = 1e-12
+
+// blend folds one window's fresh estimates into the priority table with
+// decay r (Equation 3), in place: entries unseen this window decay by
+// (1-r) and are pruned once negligible, seen entries become
+// r·p̂ + (1-r)·old. Both learners rotate through this one function so their
+// arithmetic cannot drift apart.
+func blend(pr map[hint.ID]float64, fresh map[hint.ID]float64, r float64) {
+	for h, old := range pr {
+		if _, seen := fresh[h]; seen {
+			continue
+		}
+		nv := (1 - r) * old
+		if nv < eps {
+			delete(pr, h)
+			continue
+		}
+		pr[h] = nv
+	}
+	for h, phat := range fresh {
+		pr[h] = r*phat + (1-r)*pr[h]
+	}
+}
+
+// HintStat is an analysis snapshot of one hint set's statistics, used to
+// regenerate the paper's Figure 3 scatter plot and the server's /stats
+// window view.
+type HintStat struct {
+	Hint hint.ID
+	Key  string // canonical hint-set key, filled by the caller's dictionary
+	N    uint64
+	Nr   uint64
+	D    float64 // mean read re-reference distance (0 when Nr == 0)
+	Pr   float64 // p̂r computed from this snapshot's statistics
+}
+
+// newHintStat assembles one snapshot entry from raw window counters.
+func newHintStat(h hint.ID, n, nr uint64, dsum float64) HintStat {
+	hs := HintStat{Hint: h, N: n, Nr: nr}
+	if nr > 0 {
+		hs.D = dsum / float64(nr)
+	}
+	hs.Pr = windowPriority(n, nr, dsum)
+	return hs
+}
+
+// SortHintStats orders snapshots by descending N, ties broken by hint ID.
+func SortHintStats(out []HintStat) {
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].N != out[j].N {
+			return out[i].N > out[j].N
+		}
+		return out[i].Hint < out[j].Hint
+	})
+}
+
+// MergeHintStats merges per-partition window snapshots into one cache-wide
+// view: N and Nr sum, D is the combined mean distance, and Pr is recomputed
+// from the merged numbers (Equation 2). Used by the sharded cache to
+// present fully-partitioned learners as a single statistics surface.
+func MergeHintStats(parts ...[]HintStat) []HintStat {
+	merged := make(map[hint.ID]*winStats)
+	var order []hint.ID
+	for _, part := range parts {
+		for _, hs := range part {
+			a, ok := merged[hs.Hint]
+			if !ok {
+				a = &winStats{}
+				merged[hs.Hint] = a
+				order = append(order, hs.Hint)
+			}
+			a.n += hs.N
+			a.nr += hs.Nr
+			a.dsum += hs.D * float64(hs.Nr)
+		}
+	}
+	out := make([]HintStat, 0, len(order))
+	for _, h := range order {
+		a := merged[h]
+		out = append(out, newHintStat(h, a.n, a.nr, a.dsum))
+	}
+	SortHintStats(out)
+	return out
+}

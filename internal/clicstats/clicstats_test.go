@@ -1,0 +1,301 @@
+package clicstats
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/hint"
+)
+
+func TestConfigValidate(t *testing.T) {
+	for _, cfg := range []Config{{Window: 0, R: 1}, {Window: 10, R: 0}, {Window: 10, R: 1.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %+v should panic", cfg)
+				}
+			}()
+			NewPartitioned(cfg)
+		}()
+	}
+}
+
+// TestPartitionedWindowMath pins the Equation 1–3 arithmetic on a
+// hand-computed stream: one window with N(A)=4, Nr(A)=2, distances 1+3.
+func TestPartitionedWindowMath(t *testing.T) {
+	p := NewPartitioned(Config{Window: 4, R: 0.5})
+	p.Arrive(0)
+	p.EndRequest()
+	p.Arrive(0)
+	p.Reref(0, 1)
+	p.EndRequest()
+	p.Arrive(0)
+	p.EndRequest()
+	p.Arrive(0)
+	p.Reref(0, 3)
+	if p.Windows() != 0 || p.Epoch() != 0 {
+		t.Fatalf("rotated early: windows=%d epoch=%d", p.Windows(), p.Epoch())
+	}
+	ws := p.WindowStats()
+	if len(ws) != 1 || ws[0].N != 4 || ws[0].Nr != 2 || math.Abs(ws[0].D-2) > 1e-12 {
+		t.Fatalf("window stats = %+v", ws)
+	}
+	if !p.EndRequest() {
+		t.Fatal("request W did not rotate")
+	}
+	// p̂ = nr²/(n·dsum) = 4/(4·4) = 0.25; blended with r=0.5 from 0 → 0.125.
+	if got := p.Priority(0); math.Abs(got-0.125) > 1e-12 {
+		t.Errorf("Priority = %v, want 0.125", got)
+	}
+	if p.Windows() != 1 || p.Epoch() != 1 {
+		t.Errorf("windows=%d epoch=%d, want 1, 1", p.Windows(), p.Epoch())
+	}
+	if p.TrackedHintSets() != 0 {
+		t.Errorf("stats not cleared after rotation: %d tracked", p.TrackedHintSets())
+	}
+	// Next window: hint 0 unseen → decays by (1-r); hint 1 appears.
+	for i := 0; i < 4; i++ {
+		p.Arrive(1)
+		if i == 1 {
+			p.Reref(1, 2)
+		}
+		p.EndRequest()
+	}
+	if got := p.Priority(0); math.Abs(got-0.0625) > 1e-12 {
+		t.Errorf("decayed Priority(0) = %v, want 0.0625", got)
+	}
+	if got := p.Priority(1); got <= 0 {
+		t.Errorf("Priority(1) = %v, want > 0", got)
+	}
+}
+
+// TestDecayPrunesTable checks that entries decaying below eps vanish from
+// the table (their priority reads as 0 either way; pruning bounds memory).
+func TestDecayPrunesTable(t *testing.T) {
+	p := NewPartitioned(Config{Window: 2, R: 1})
+	p.Arrive(0)
+	p.Reref(0, 1)
+	p.EndRequest()
+	p.Arrive(0)
+	p.EndRequest() // rotation 1: Pr(0) > 0
+	if p.Priority(0) <= 0 {
+		t.Fatal("no priority learned")
+	}
+	p.Arrive(1)
+	p.EndRequest()
+	p.Arrive(1)
+	p.EndRequest() // rotation 2: r=1 forgets hint 0 entirely
+	if got := p.Priority(0); got != 0 {
+		t.Errorf("Priority(0) = %v after full decay, want 0", got)
+	}
+	if pr := p.Priorities(); len(pr) != 1 {
+		t.Errorf("table not pruned: %v", pr)
+	}
+}
+
+// TestGlobalMatchesPartitionedSerial is the mode-equivalence test: driven
+// single-threaded in exact mode, the Global learner must produce exactly
+// the same priorities, window counts and snapshots as Partitioned at every
+// epoch.
+func TestGlobalMatchesPartitionedSerial(t *testing.T) {
+	for _, r := range []float64{1, 0.5} {
+		cfg := Config{Window: 100, R: r}
+		p := NewPartitioned(cfg)
+		g := NewGlobal(cfg)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 5000; i++ {
+			h := hint.ID(rng.Intn(12))
+			p.Arrive(h)
+			g.Arrive(h)
+			if rng.Intn(3) == 0 {
+				rh := hint.ID(rng.Intn(12))
+				d := uint64(1 + rng.Intn(80))
+				p.Reref(rh, d)
+				g.Reref(rh, d)
+			}
+			pe, ge := p.EndRequest(), g.EndRequest()
+			if pe != ge {
+				t.Fatalf("r=%v request %d: rotation mismatch (partitioned %v, global %v)", r, i, pe, ge)
+			}
+			if p.Epoch() != g.Epoch() || p.Windows() != g.Windows() {
+				t.Fatalf("r=%v request %d: epoch/windows diverged", r, i)
+			}
+			if pe {
+				pp, gp := p.Priorities(), g.Priorities()
+				if len(pp) != len(gp) {
+					t.Fatalf("r=%v epoch %d: table sizes %d vs %d", r, p.Epoch(), len(pp), len(gp))
+				}
+				for h, v := range pp {
+					if gv, ok := gp[h]; !ok || gv != v {
+						t.Fatalf("r=%v epoch %d hint %d: partitioned %v, global %v", r, p.Epoch(), h, v, gp[h])
+					}
+				}
+			}
+		}
+		pws, gws := p.WindowStats(), g.WindowStats()
+		if len(pws) != len(gws) {
+			t.Fatalf("r=%v: window stats lengths %d vs %d", r, len(pws), len(gws))
+		}
+		for i := range pws {
+			if pws[i] != gws[i] {
+				t.Fatalf("r=%v: window stat %d: %+v vs %+v", r, i, pws[i], gws[i])
+			}
+		}
+	}
+}
+
+// TestGlobalConcurrent hammers one Global learner from several goroutines;
+// under -race this exercises the stripe locks and the table republishing.
+// Totals are exact: every arrival lands in exactly one window, so the sum
+// of current-window N plus W per completed window equals the request count.
+func TestGlobalConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		perW    = 20000
+		window  = 1000
+	)
+	g := NewGlobal(Config{Window: window, R: 0.5, Stripes: 4})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < perW; i++ {
+				h := hint.ID(rng.Intn(32))
+				g.Arrive(h)
+				if i%4 == 0 {
+					g.Reref(h, uint64(1+rng.Intn(9)))
+				}
+				g.EndRequest()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if want := workers * perW / window; g.Windows() != want {
+		t.Errorf("Windows = %d, want %d", g.Windows(), want)
+	}
+	if g.Epoch() != uint64(g.Windows()) {
+		t.Errorf("Epoch = %d, want %d", g.Epoch(), g.Windows())
+	}
+	var n uint64
+	for _, hs := range g.WindowStats() {
+		n += hs.N
+	}
+	if total := n + uint64(g.Windows()*window); total != workers*perW {
+		t.Errorf("arrivals accounted = %d, want %d", total, workers*perW)
+	}
+	if len(g.Priorities()) == 0 {
+		t.Error("no priorities learned from a re-referencing stream")
+	}
+}
+
+// TestGlobalTopKStripeClamp: a small top-k budget must not be spread so
+// thin across the default stripe count that per-stripe Space-Saving
+// degenerates (one counter per stripe recycles on almost every Touch).
+func TestGlobalTopKStripeClamp(t *testing.T) {
+	for _, tc := range []struct {
+		topk, stripes, want int
+	}{
+		{20, 0, 2},   // default 16 stripes would leave 1–2 counters each
+		{200, 0, 16}, // big budgets keep full stripe parallelism
+		{4, 0, 1},    // tiny budgets serialize entirely
+		{64, 4, 4},   // explicit stripe counts survive when affordable
+	} {
+		g := NewGlobal(Config{Window: 1000, R: 1, TopK: tc.topk, Stripes: tc.stripes})
+		if got := g.Stripes(); got != tc.want {
+			t.Errorf("TopK=%d Stripes=%d: got %d stripes, want %d", tc.topk, tc.stripes, got, tc.want)
+		}
+	}
+	// With the clamp, a skewed stream over a small budget still learns the
+	// frequent hints (this configuration degenerated to zero priorities
+	// when 16 stripes each held a single counter).
+	g := NewGlobal(Config{Window: 2000, R: 1, TopK: 20})
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 6000; i++ {
+		h := hint.ID(rng.Intn(2))
+		if rng.Intn(5) == 0 {
+			h = hint.ID(2 + rng.Intn(30))
+		}
+		g.Arrive(h)
+		if h < 2 && rng.Intn(2) == 0 {
+			g.Reref(h, uint64(1+rng.Intn(5)))
+		}
+		g.EndRequest()
+	}
+	pr := g.Priorities()
+	if pr[0] <= 0 || pr[1] <= 0 {
+		t.Errorf("frequent hints have priorities %v, %v under a clamped small budget; want > 0", pr[0], pr[1])
+	}
+}
+
+// TestGlobalTopK checks the striped top-k mode end to end: tracking stays
+// within budget and frequent hint sets earn nonzero priorities.
+func TestGlobalTopK(t *testing.T) {
+	g := NewGlobal(Config{Window: 2000, R: 1, TopK: 16, Stripes: 2})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 6000; i++ {
+		// Hints 0–1 dominate with quick re-references; 2–31 are noise.
+		h := hint.ID(rng.Intn(2))
+		if rng.Intn(5) == 0 {
+			h = hint.ID(2 + rng.Intn(30))
+		}
+		g.Arrive(h)
+		if h < 2 && rng.Intn(2) == 0 {
+			g.Reref(h, uint64(1+rng.Intn(5)))
+		}
+		g.EndRequest()
+	}
+	if got := g.TrackedHintSets(); got > 16 {
+		t.Errorf("TrackedHintSets = %d, want <= 16", got)
+	}
+	pr := g.Priorities()
+	if pr[0] <= 0 || pr[1] <= 0 {
+		t.Errorf("frequent hints have priorities %v, %v; want > 0", pr[0], pr[1])
+	}
+	if ws := g.WindowStats(); len(ws) > 16 {
+		t.Errorf("WindowStats has %d entries, want <= 16", len(ws))
+	}
+}
+
+// TestMergeHintStats checks the cross-partition merge arithmetic.
+func TestMergeHintStats(t *testing.T) {
+	a := []HintStat{newHintStat(1, 10, 2, 6), newHintStat(2, 5, 0, 0)}
+	b := []HintStat{newHintStat(1, 20, 2, 10)}
+	m := MergeHintStats(a, b)
+	if len(m) != 2 {
+		t.Fatalf("merged %d entries, want 2", len(m))
+	}
+	// Sorted by N desc: hint 1 first with N=30, Nr=4, dsum=16 → D=4.
+	if m[0].Hint != 1 || m[0].N != 30 || m[0].Nr != 4 || math.Abs(m[0].D-4) > 1e-12 {
+		t.Errorf("merged[0] = %+v", m[0])
+	}
+	if want := windowPriority(30, 4, 16); m[0].Pr != want {
+		t.Errorf("merged Pr = %v, want %v", m[0].Pr, want)
+	}
+	if m[1].Hint != 2 || m[1].N != 5 {
+		t.Errorf("merged[1] = %+v", m[1])
+	}
+}
+
+func BenchmarkPartitionedArrive(b *testing.B) {
+	p := NewPartitioned(Config{Window: 100000, R: 1})
+	for i := 0; i < b.N; i++ {
+		p.Arrive(hint.ID(i % 64))
+		p.EndRequest()
+	}
+}
+
+func BenchmarkGlobalArrive(b *testing.B) {
+	g := NewGlobal(Config{Window: 100000, R: 1})
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			g.Arrive(hint.ID(i % 64))
+			g.EndRequest()
+			i++
+		}
+	})
+}

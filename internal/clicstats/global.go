@@ -1,0 +1,272 @@
+package clicstats
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/hint"
+	"repro/internal/spacesaving"
+)
+
+// DefaultStripes is the lock-stripe count of a Global learner when
+// Config.Stripes is zero. The paper's workloads carry tens of distinct
+// hint sets, so 16 stripes already put most concurrently-updated hint sets
+// behind different locks.
+const DefaultStripes = 16
+
+// Global is the shared, concurrency-safe learner: every shard of a sharded
+// cache feeds it and reads it, so the priority model Pr(H) is learned from
+// the cache-wide request stream over the full window W while page placement
+// stays hash-partitioned. This is the "global (striped or merged)
+// statistics" design the per-shard W/N heuristic approximates.
+//
+// Concurrency design, hot path first:
+//
+//   - Priority/Epoch are wait-free: the priority table is an immutable map
+//     behind an atomic pointer, republished once per window rotation.
+//   - Arrive/Reref take one stripe mutex each: window counters are striped
+//     by hint ID, so requests carrying different hint sets update
+//     statistics in parallel. In top-k mode the stripes are a
+//     spacesaving.Striped summary with the same property.
+//   - EndRequest is one atomic add; the caller that lands exactly on the
+//     window boundary performs the rotation (collecting every stripe under
+//     its lock, blending, republishing) while all other callers continue
+//     against the old table. Shards re-key their victim heaps lazily, at
+//     their next request, by observing the epoch change.
+//
+// Under concurrent callers the boundary is slightly relaxed compared to a
+// single-owner learner: requests in flight during a rotation land in
+// whichever window their stripe update hits. Driven single-threaded in
+// exact (TopK == 0) mode, Global is bit-identical to Partitioned.
+type Global struct {
+	cfg Config
+
+	// Exact mode: per-stripe window counters (TopK == 0).
+	stripes []globalStripe
+	// Top-k mode: one striped Space-Saving summary (§5).
+	topk *spacesaving.Striped[hint.ID, rerefAux]
+
+	// requests counts EndRequest calls; every Window-th call rotates.
+	requests atomic.Uint64
+	// table is the immutable priority table + epoch in effect.
+	table atomic.Pointer[globalTable]
+	// rotateMu serializes rotations (belt and braces: triggers are a full
+	// window apart, but rotation must never interleave with itself).
+	rotateMu sync.Mutex
+	windows  atomic.Int64
+}
+
+type globalStripe struct {
+	mu    sync.Mutex
+	stats map[hint.ID]*winStats
+	// Pad the 16 bytes of mutex + map header to a full 64-byte cache line
+	// so neighbouring stripe locks do not false-share.
+	_ [48]byte
+}
+
+type globalTable struct {
+	pr    map[hint.ID]float64
+	epoch uint64
+}
+
+var _ Learner = (*Global)(nil)
+
+// stripeHash spreads hint IDs across stripes. IDs are dense small
+// integers (interned in discovery order), so SplitMix32-style avalanche
+// keeps adjacent — often co-hot — hint sets off the same lock.
+func stripeHash(h hint.ID) uint64 {
+	x := uint64(h) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	return x
+}
+
+// minTopKPerStripe is the smallest per-stripe counter budget the top-k
+// mode accepts: with only one or two counters per stripe nearly every
+// Touch would recycle the stripe's minimum counter, collapsing N = C-e
+// toward zero. Small k therefore trades stripe parallelism for accuracy.
+const minTopKPerStripe = 8
+
+// NewGlobal returns a shared learner for the configuration.
+func NewGlobal(cfg Config) *Global {
+	cfg.validate()
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = DefaultStripes
+	}
+	g := &Global{cfg: cfg}
+	if cfg.TopK > 0 {
+		// Keep the §5 budget of k counters total, but never spread it so
+		// thin that a stripe cannot track its frequent hint sets.
+		stripes := cfg.Stripes
+		if max := cfg.TopK / minTopKPerStripe; stripes > max {
+			stripes = max
+		}
+		if stripes < 1 {
+			stripes = 1
+		}
+		g.topk = spacesaving.NewStriped[hint.ID, rerefAux](cfg.TopK, stripes, stripeHash)
+	} else {
+		g.stripes = make([]globalStripe, cfg.Stripes)
+		for i := range g.stripes {
+			g.stripes[i].stats = make(map[hint.ID]*winStats)
+		}
+	}
+	g.table.Store(&globalTable{pr: map[hint.ID]float64{}})
+	return g
+}
+
+// Stripes returns the lock-stripe count in effect.
+func (g *Global) Stripes() int {
+	if g.topk != nil {
+		return g.topk.Stripes()
+	}
+	return len(g.stripes)
+}
+
+func (g *Global) stripe(h hint.ID) *globalStripe {
+	return &g.stripes[stripeHash(h)%uint64(len(g.stripes))]
+}
+
+// Arrive implements Learner.
+func (g *Global) Arrive(h hint.ID) {
+	if g.topk != nil {
+		g.topk.Touch(h)
+		return
+	}
+	st := g.stripe(h)
+	st.mu.Lock()
+	ws, ok := st.stats[h]
+	if !ok {
+		ws = &winStats{}
+		st.stats[h] = ws
+	}
+	ws.n++
+	st.mu.Unlock()
+}
+
+// Reref implements Learner.
+func (g *Global) Reref(h hint.ID, dist uint64) {
+	if g.topk != nil {
+		g.topk.Update(h, func(c *spacesaving.Counter[hint.ID, rerefAux]) {
+			c.Val.nr++
+			c.Val.dsum += float64(dist)
+		})
+		return
+	}
+	st := g.stripe(h)
+	st.mu.Lock()
+	ws, ok := st.stats[h]
+	if !ok {
+		// As in Partitioned: the record that triggered this credit may
+		// predate the current window; start a fresh entry.
+		ws = &winStats{}
+		st.stats[h] = ws
+	}
+	ws.nr++
+	ws.dsum += float64(dist)
+	st.mu.Unlock()
+}
+
+// EndRequest implements Learner. Exactly one caller observes each multiple
+// of the window size (the counter is monotone), so exactly one rotation
+// happens per window regardless of how many shards feed the learner.
+func (g *Global) EndRequest() bool {
+	if g.requests.Add(1)%uint64(g.cfg.Window) != 0 {
+		return false
+	}
+	g.rotate()
+	return true
+}
+
+// rotate closes the current window: it drains the stripes, blends the
+// fresh estimates into a copy of the priority table (Equation 3), and
+// republishes the table with the next epoch.
+func (g *Global) rotate() {
+	g.rotateMu.Lock()
+	defer g.rotateMu.Unlock()
+
+	fresh := make(map[hint.ID]float64)
+	if g.topk != nil {
+		for _, ctr := range g.topk.Drain() {
+			fresh[ctr.Key] = windowPriority(ctr.Count-ctr.Err, ctr.Val.nr, ctr.Val.dsum)
+		}
+	} else {
+		for i := range g.stripes {
+			st := &g.stripes[i]
+			st.mu.Lock()
+			stats := st.stats
+			st.stats = make(map[hint.ID]*winStats, len(stats))
+			st.mu.Unlock()
+			for h, ws := range stats {
+				fresh[h] = windowPriority(ws.n, ws.nr, ws.dsum)
+			}
+		}
+	}
+
+	old := g.table.Load()
+	pr := make(map[hint.ID]float64, len(old.pr)+len(fresh))
+	for h, v := range old.pr {
+		pr[h] = v
+	}
+	blend(pr, fresh, g.cfg.R)
+	g.table.Store(&globalTable{pr: pr, epoch: old.epoch + 1})
+	g.windows.Add(1)
+}
+
+// Priority implements Learner; it is wait-free.
+func (g *Global) Priority(h hint.ID) float64 { return g.table.Load().pr[h] }
+
+// Epoch implements Learner; it is wait-free.
+func (g *Global) Epoch() uint64 { return g.table.Load().epoch }
+
+// Windows implements Learner.
+func (g *Global) Windows() int { return int(g.windows.Load()) }
+
+// Priorities implements Learner.
+func (g *Global) Priorities() map[hint.ID]float64 {
+	pr := g.table.Load().pr
+	out := make(map[hint.ID]float64, len(pr))
+	for h, v := range pr {
+		out[h] = v
+	}
+	return out
+}
+
+// WindowStats implements Learner. The snapshot takes each stripe lock in
+// turn, so it is consistent per stripe and approximate across stripes —
+// the same guarantee the sharded cache's merged accounting gives.
+func (g *Global) WindowStats() []HintStat {
+	var out []HintStat
+	if g.topk != nil {
+		for _, ctr := range g.topk.Counters() {
+			out = append(out, newHintStat(ctr.Key, ctr.Count-ctr.Err, ctr.Val.nr, ctr.Val.dsum))
+		}
+	} else {
+		for i := range g.stripes {
+			st := &g.stripes[i]
+			st.mu.Lock()
+			for h, ws := range st.stats {
+				out = append(out, newHintStat(h, ws.n, ws.nr, ws.dsum))
+			}
+			st.mu.Unlock()
+		}
+	}
+	SortHintStats(out)
+	return out
+}
+
+// TrackedHintSets implements Learner.
+func (g *Global) TrackedHintSets() int {
+	if g.topk != nil {
+		return g.topk.Len()
+	}
+	n := 0
+	for i := range g.stripes {
+		st := &g.stripes[i]
+		st.mu.Lock()
+		n += len(st.stats)
+		st.mu.Unlock()
+	}
+	return n
+}

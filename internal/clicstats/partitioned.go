@@ -1,0 +1,157 @@
+package clicstats
+
+import (
+	"repro/internal/hint"
+	"repro/internal/spacesaving"
+)
+
+// Partitioned is the single-owner learner: the statistics machinery the
+// paper describes for one cache, verbatim. It is not safe for concurrent
+// use — exactly like the cache that owns it. A sharded cache running in
+// partitioned-learning mode gives each shard its own Partitioned learner
+// over a scaled W/N window, so each shard learns only from its own request
+// subsequence.
+type Partitioned struct {
+	cfg Config
+
+	// pr holds the priorities in effect during the current window,
+	// computed at the last window boundary (Equation 3).
+	pr map[hint.ID]float64
+
+	// Exact per-window statistics (TopK == 0).
+	stats map[hint.ID]*winStats
+	// Bounded per-window statistics (TopK > 0, §5).
+	topk *spacesaving.Summary[hint.ID, rerefAux]
+
+	sinceRotate int
+	windows     int
+	epoch       uint64
+}
+
+var _ Learner = (*Partitioned)(nil)
+
+// NewPartitioned returns a single-owner learner for the configuration.
+func NewPartitioned(cfg Config) *Partitioned {
+	cfg.validate()
+	p := &Partitioned{cfg: cfg, pr: make(map[hint.ID]float64)}
+	if cfg.TopK > 0 {
+		p.topk = spacesaving.New[hint.ID, rerefAux](cfg.TopK)
+	} else {
+		p.stats = make(map[hint.ID]*winStats)
+	}
+	return p
+}
+
+// Arrive implements Learner.
+func (p *Partitioned) Arrive(h hint.ID) {
+	if p.topk != nil {
+		p.topk.Touch(h)
+		return
+	}
+	st, ok := p.stats[h]
+	if !ok {
+		st = &winStats{}
+		p.stats[h] = st
+	}
+	st.n++
+}
+
+// Reref implements Learner.
+func (p *Partitioned) Reref(h hint.ID, dist uint64) {
+	if p.topk != nil {
+		if ctr, ok := p.topk.Get(h); ok {
+			ctr.Val.nr++
+			ctr.Val.dsum += float64(dist)
+		}
+		return
+	}
+	st, ok := p.stats[h]
+	if !ok {
+		// The prior request that established the record may have arrived in
+		// an earlier window; stats were cleared since. Start a fresh entry
+		// so the re-reference still informs this window's priorities.
+		st = &winStats{}
+		p.stats[h] = st
+	}
+	st.nr++
+	st.dsum += float64(dist)
+}
+
+// EndRequest implements Learner: it counts the request against the window
+// and rotates at the boundary (§3.2).
+func (p *Partitioned) EndRequest() bool {
+	p.sinceRotate++
+	if p.sinceRotate < p.cfg.Window {
+		return false
+	}
+	blend(p.pr, p.windowEstimates(), p.cfg.R)
+	if p.topk != nil {
+		p.topk.Reset()
+	} else {
+		p.stats = make(map[hint.ID]*winStats, len(p.stats))
+	}
+	p.sinceRotate = 0
+	p.windows++
+	p.epoch++
+	return true
+}
+
+// windowEstimates returns p̂r for every hint set with statistics in the
+// current window.
+func (p *Partitioned) windowEstimates() map[hint.ID]float64 {
+	if p.topk != nil {
+		out := make(map[hint.ID]float64, p.topk.Len())
+		for _, ctr := range p.topk.Counters() {
+			// §5: N(H) is the frequency estimate minus the error bound.
+			out[ctr.Key] = windowPriority(ctr.Count-ctr.Err, ctr.Val.nr, ctr.Val.dsum)
+		}
+		return out
+	}
+	out := make(map[hint.ID]float64, len(p.stats))
+	for h, st := range p.stats {
+		out[h] = windowPriority(st.n, st.nr, st.dsum)
+	}
+	return out
+}
+
+// Priority implements Learner.
+func (p *Partitioned) Priority(h hint.ID) float64 { return p.pr[h] }
+
+// Epoch implements Learner.
+func (p *Partitioned) Epoch() uint64 { return p.epoch }
+
+// Windows implements Learner.
+func (p *Partitioned) Windows() int { return p.windows }
+
+// Priorities implements Learner.
+func (p *Partitioned) Priorities() map[hint.ID]float64 {
+	out := make(map[hint.ID]float64, len(p.pr))
+	for h, pr := range p.pr {
+		out[h] = pr
+	}
+	return out
+}
+
+// WindowStats implements Learner.
+func (p *Partitioned) WindowStats() []HintStat {
+	var out []HintStat
+	if p.topk != nil {
+		for _, ctr := range p.topk.Counters() {
+			out = append(out, newHintStat(ctr.Key, ctr.Count-ctr.Err, ctr.Val.nr, ctr.Val.dsum))
+		}
+	} else {
+		for h, st := range p.stats {
+			out = append(out, newHintStat(h, st.n, st.nr, st.dsum))
+		}
+	}
+	SortHintStats(out)
+	return out
+}
+
+// TrackedHintSets implements Learner.
+func (p *Partitioned) TrackedHintSets() int {
+	if p.topk != nil {
+		return p.topk.Len()
+	}
+	return len(p.stats)
+}

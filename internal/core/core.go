@@ -18,15 +18,66 @@
 // some cached page has strictly lower priority; the victim is the
 // minimum-priority page, ties broken by minimum sequence number.
 //
-// Hint-set tracking can optionally be bounded to the k most frequent hint
-// sets with an adapted Space-Saving summary (§5) by setting Config.TopK.
+// The statistics machinery itself — window accounting, decay blending,
+// the priority table, and the optional Space-Saving top-k bound (§5, set
+// via Config.TopK) — lives in internal/clicstats behind the Learner
+// interface; the cache detects re-references, feeds them to its learner,
+// and re-keys its victim heap whenever the learner publishes a new
+// priority table (tracked by the learner's epoch). Config.Stats selects
+// how a sharded front learns: a private per-shard learner over a scaled
+// window (StatsPartitioned, the default) or one shared lock-striped
+// learner fed by all shards (StatsGlobal).
 package core
 
 import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/clicstats"
 	"repro/internal/hint"
 	"repro/internal/policy"
 	"repro/internal/trace"
 )
+
+// StatsMode selects where a cache's hint statistics are learned.
+type StatsMode int
+
+const (
+	// StatsPartitioned gives every cache (or every shard of a Sharded
+	// front) its own private learner: statistics windows, top-k summaries
+	// and priority tables are per shard, sized W/N. This is the fully
+	// partitioned heuristic and the historical default.
+	StatsPartitioned StatsMode = iota
+	// StatsGlobal shares one concurrency-safe lock-striped learner across
+	// all shards of a Sharded front: priorities are learned from the
+	// cache-wide request stream over the full window W while page
+	// placement stays hash-partitioned.
+	StatsGlobal
+)
+
+// String returns the flag spelling of the mode.
+func (m StatsMode) String() string {
+	switch m {
+	case StatsPartitioned:
+		return "partitioned"
+	case StatsGlobal:
+		return "global"
+	default:
+		return fmt.Sprintf("StatsMode(%d)", int(m))
+	}
+}
+
+// ParseStatsMode parses the flag spelling of a statistics mode.
+func ParseStatsMode(s string) (StatsMode, error) {
+	switch s {
+	case "partitioned", "":
+		return StatsPartitioned, nil
+	case "global":
+		return StatsGlobal, nil
+	default:
+		return 0, fmt.Errorf("core: unknown stats mode %q (want partitioned or global)", s)
+	}
+}
 
 // Config parameterises a CLIC cache.
 type Config struct {
@@ -47,6 +98,14 @@ type Config struct {
 	// the adapted Space-Saving algorithm (§5). Zero tracks all hint sets
 	// exactly.
 	TopK int
+	// Stats selects partitioned (default) or global statistics learning;
+	// see StatsMode. For a plain Cache the modes learn identical
+	// priorities (global merely pays for concurrency-safety); the mode
+	// matters for Sharded fronts.
+	Stats StatsMode
+	// Stripes is the lock-stripe count of a global learner; 0 selects
+	// clicstats.DefaultStripes. Ignored in partitioned mode.
+	Stripes int
 }
 
 // DefaultWindow is the statistics window used when Config.Window is zero.
@@ -72,19 +131,22 @@ func (cfg Config) withDefaults() Config {
 	return cfg
 }
 
-// Cache is a CLIC server cache. It is not safe for concurrent use.
+// learnerConfig maps a resolved cache configuration to its learner's.
+func (cfg Config) learnerConfig() clicstats.Config {
+	return clicstats.Config{Window: cfg.Window, R: cfg.R, TopK: cfg.TopK, Stripes: cfg.Stripes}
+}
+
+// Cache is a CLIC server cache. It is not safe for concurrent use (wrap it
+// in Sharded for that), even when its learner is.
 type Cache struct {
 	cfg Config
 	seq uint64
 
-	// pr holds the priorities in effect during the current window,
-	// computed at the last window boundary (Equation 3).
-	pr map[hint.ID]float64
-
-	// Exact per-window statistics (TopK == 0).
-	stats map[hint.ID]*winStats
-	// Bounded per-window statistics (TopK > 0).
-	topk *hintSummary
+	// learner owns the hint statistics and the priority table; epoch is
+	// the learner epoch the group heap's cached priorities were last
+	// synced at.
+	learner clicstats.Learner
+	epoch   uint64
 
 	// Cached pages, grouped per hint set.
 	pages  map[uint64]*pageEntry
@@ -93,36 +155,35 @@ type Cache struct {
 
 	// Outqueue of recently seen, uncached pages (§3.1).
 	out outqueue
-
-	sinceRotate int
-	windows     int
 }
 
 var _ policy.Policy = (*Cache)(nil)
 
-// winStats are the per-window statistics for one hint set.
-type winStats struct {
-	n    uint64  // N(H): requests with this hint set this window
-	nr   uint64  // Nr(H): read re-references credited to this hint set
-	dsum float64 // sum of re-reference distances (D(H) = dsum/nr)
-}
-
-// New returns a CLIC cache for the given configuration.
+// New returns a CLIC cache for the given configuration, with a private
+// learner built per Config.Stats.
 func New(cfg Config) *Cache {
 	if cfg.Capacity < 0 {
 		panic("core: negative capacity")
 	}
 	cfg = cfg.withDefaults()
-	c := &Cache{
-		cfg:    cfg,
-		pr:     make(map[hint.ID]float64),
-		pages:  make(map[uint64]*pageEntry, cfg.Capacity),
-		groups: make(map[hint.ID]*group),
-	}
-	if cfg.TopK > 0 {
-		c.topk = newHintSummary(cfg.TopK)
+	var l clicstats.Learner
+	if cfg.Stats == StatsGlobal {
+		l = clicstats.NewGlobal(cfg.learnerConfig())
 	} else {
-		c.stats = make(map[hint.ID]*winStats)
+		l = clicstats.NewPartitioned(cfg.learnerConfig())
+	}
+	return newCache(cfg, l)
+}
+
+// newCache builds a cache around an externally owned learner (Sharded
+// shares one learner across shards in global mode). cfg must already have
+// defaults applied.
+func newCache(cfg Config, l clicstats.Learner) *Cache {
+	c := &Cache{
+		cfg:     cfg,
+		learner: l,
+		pages:   make(map[uint64]*pageEntry, cfg.Capacity),
+		groups:  make(map[hint.ID]*group),
 	}
 	c.out.init(cfg.Noutq)
 	return c
@@ -140,23 +201,27 @@ func (c *Cache) Capacity() int { return c.cfg.Capacity }
 // Config returns the configuration in effect (with defaults applied).
 func (c *Cache) Config() Config { return c.cfg }
 
-// Windows returns the number of completed statistics windows.
-func (c *Cache) Windows() int { return c.windows }
+// Learner exposes the cache's statistics learner.
+func (c *Cache) Learner() clicstats.Learner { return c.learner }
 
 // Access implements policy.Policy, processing one request per Figure 4 and
-// updating the hint statistics of §3.1.
+// feeding the hint statistics of §3.1 to the learner.
 func (c *Cache) Access(r trace.Request) bool {
+	// A shared learner may have rotated since our last request; re-key the
+	// victim heap before any placement decision reads priorities.
+	c.syncPriorities()
+
 	s := c.seq
 	c.seq++
 
 	// Statistics: count the arrival, and detect a read re-reference using
 	// the most-recent-request record held in the cache or the outqueue.
-	c.countArrival(r.Hint)
+	c.learner.Arrive(r.Hint)
 	if r.Op == trace.Read {
 		if e, ok := c.pages[r.Page]; ok {
-			c.creditReref(e.hint, s-e.seq)
+			c.learner.Reref(e.hint, s-e.seq)
 		} else if e, ok := c.out.get(r.Page); ok {
-			c.creditReref(e.hint, s-e.seq)
+			c.learner.Reref(e.hint, s-e.seq)
 		}
 	}
 
@@ -170,11 +235,25 @@ func (c *Cache) Access(r trace.Request) bool {
 		c.admit(r.Page, s, r.Hint)
 	}
 
-	c.sinceRotate++
-	if c.sinceRotate >= c.cfg.Window {
-		c.rotateWindow()
+	if c.learner.EndRequest() {
+		c.syncPriorities()
 	}
 	return hit
+}
+
+// syncPriorities re-keys the group heap against the learner's current
+// priority table if the table changed since the last sync (§4: the heap is
+// keyed by priority, so a rotation invalidates its order).
+func (c *Cache) syncPriorities() {
+	e := c.learner.Epoch()
+	if e == c.epoch {
+		return
+	}
+	c.epoch = e
+	for _, g := range c.groups {
+		g.pr = c.learner.Priority(g.hint)
+	}
+	heap.Init(&c.heap)
 }
 
 // admit handles a request for an uncached page (Figure 4 lines 1–22).
@@ -221,4 +300,4 @@ func (c *Cache) rehint(e *pageEntry, s uint64, h hint.ID) {
 }
 
 // priority returns Pr(H) in effect during the current window.
-func (c *Cache) priority(h hint.ID) float64 { return c.pr[h] }
+func (c *Cache) priority(h hint.ID) float64 { return c.learner.Priority(h) }

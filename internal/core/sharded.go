@@ -5,28 +5,38 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"repro/internal/hint"
+	"repro/internal/clicstats"
 	"repro/internal/policy"
 	"repro/internal/trace"
 )
 
 // Sharded is a concurrency-safe CLIC front: it hash-partitions the page
 // space across N independent Caches, each guarded by its own mutex and
-// carrying its own outqueue and window statistics. Requests for different
-// shards proceed in parallel, so multiple simulated clients can drive one
-// server cache concurrently — the serving scenario the single Cache (which
-// is not safe for concurrent use) cannot support.
+// carrying its own outqueue. Requests for different shards proceed in
+// parallel, so multiple simulated clients can drive one server cache
+// concurrently — the serving scenario the single Cache (which is not safe
+// for concurrent use) cannot support.
 //
-// Partitioning preserves CLIC's semantics per shard: a page's whole history
-// lands on one shard, so re-reference detection, outqueue records and
-// priority statistics for that page are exactly those of a plain Cache over
-// the shard's request subsequence. Hint-set statistics are learned per
-// shard (each shard sees ~1/N of the requests, so its window is scaled to
-// W/N); accessors merge the per-shard accounting back into cache-wide
-// totals.
+// Partitioning preserves CLIC's placement semantics per shard: a page's
+// whole history lands on one shard, so re-reference detection, outqueue
+// records and victim selection for that page are exactly those of a plain
+// Cache over the shard's request subsequence.
+//
+// Where the hint statistics are learned is Config.Stats:
+//
+//   - StatsPartitioned (default): each shard owns a private learner over a
+//     scaled W/N window; it sees ~1/N of the requests and learns its own
+//     priority table. Accessors merge the per-shard accounting back into
+//     cache-wide totals.
+//   - StatsGlobal: all shards feed and read one shared lock-striped
+//     learner (clicstats.Global) over the full window W, so the priority
+//     model is cache-wide and coherent while placement stays partitioned.
 type Sharded struct {
 	shards   []shardedShard
 	capacity int
+	mode     StatsMode
+	// global is the shared learner in StatsGlobal mode (nil otherwise).
+	global *clicstats.Global
 }
 
 // shardedShard pairs one Cache partition with its lock. Padding the mutex
@@ -54,10 +64,11 @@ var _ policy.Policy = (*Sharded)(nil)
 
 // NewSharded returns a CLIC front with n shards. The configured capacity,
 // outqueue and window are totals for the whole front: capacity and outqueue
-// entries are split across shards (remainders go to the low shards), and
-// each shard's statistics window is W/n so the front as a whole rotates
-// statistics about every W requests under a uniform request spread. n = 1
-// degenerates to a mutex-guarded plain Cache.
+// entries are split across shards (remainders go to the low shards). In
+// partitioned-statistics mode each shard's window is W/n so the front as a
+// whole rotates statistics about every W requests under a uniform request
+// spread; in global mode the shared learner rotates exactly every W
+// requests, cache-wide. n = 1 degenerates to a mutex-guarded plain Cache.
 func NewSharded(cfg Config, n int) *Sharded {
 	if n <= 0 {
 		panic("core: NewSharded needs at least one shard")
@@ -66,10 +77,16 @@ func NewSharded(cfg Config, n int) *Sharded {
 		panic("core: negative capacity")
 	}
 	full := cfg.withDefaults()
-	s := &Sharded{shards: make([]shardedShard, n), capacity: full.Capacity}
-	window := full.Window / n
-	if window < 1 {
-		window = 1
+	s := &Sharded{shards: make([]shardedShard, n), capacity: full.Capacity, mode: full.Stats}
+	if full.Stats == StatsGlobal {
+		s.global = clicstats.NewGlobal(full.learnerConfig())
+	}
+	window := full.Window
+	if s.global == nil {
+		window /= n
+		if window < 1 {
+			window = 1
+		}
 	}
 	for i := range s.shards {
 		sub := Config{
@@ -77,6 +94,8 @@ func NewSharded(cfg Config, n int) *Sharded {
 			Window:   window,
 			R:        full.R,
 			TopK:     full.TopK,
+			Stats:    full.Stats,
+			Stripes:  full.Stripes,
 		}
 		// withDefaults has already resolved Noutq to an entry count; a zero
 		// split must not re-trigger the 5×-capacity default, so disabled
@@ -86,7 +105,12 @@ func NewSharded(cfg Config, n int) *Sharded {
 		} else {
 			sub.Noutq = NoOutqueue
 		}
-		s.shards[i].c = New(sub)
+		sub = sub.withDefaults()
+		if s.global != nil {
+			s.shards[i].c = newCache(sub, s.global)
+		} else {
+			s.shards[i].c = newCache(sub, clicstats.NewPartitioned(sub.learnerConfig()))
+		}
 	}
 	return s
 }
@@ -120,7 +144,9 @@ func mix64(x uint64) uint64 {
 	return x
 }
 
-// Name implements policy.Policy.
+// Name implements policy.Policy. The name reflects sharding only, not the
+// statistics mode, so results from either mode label comparably (the mode
+// is reported via Stats/StatsMode).
 func (s *Sharded) Name() string {
 	if len(s.shards) == 1 {
 		return "CLIC"
@@ -128,16 +154,22 @@ func (s *Sharded) Name() string {
 	return fmt.Sprintf("CLIC/%d", len(s.shards))
 }
 
+// StatsMode returns the statistics-learning mode in effect.
+func (s *Sharded) StatsMode() StatsMode { return s.mode }
+
 // Access implements policy.Policy. It is safe for concurrent use: requests
 // hitting different shards proceed in parallel, requests for the same shard
-// serialize on its mutex.
+// serialize on its mutex. In global mode the shards additionally share the
+// learner, whose hot path is lock-striped by hint set.
 func (s *Sharded) Access(r trace.Request) bool {
 	sh := &s.shards[s.ShardFor(r.Page)]
 	sh.mu.Lock()
 	hit := sh.c.Access(r)
 	sh.len.Store(int64(sh.c.Len()))
 	sh.outq.Store(int64(sh.c.OutqueueLen()))
-	sh.windows.Store(int64(sh.c.Windows()))
+	if s.global == nil {
+		sh.windows.Store(int64(sh.c.Windows()))
+	}
 	if r.Op == trace.Read {
 		sh.reads.Add(1)
 		if hit {
@@ -165,9 +197,13 @@ func (s *Sharded) Capacity() int { return s.capacity }
 // Shards returns the number of shards.
 func (s *Sharded) Shards() int { return len(s.shards) }
 
-// Windows returns the total number of completed statistics windows across
-// all shards.
+// Windows returns the number of completed statistics windows: summed
+// across the per-shard learners in partitioned mode, the shared learner's
+// count in global mode.
 func (s *Sharded) Windows() int {
+	if s.global != nil {
+		return s.global.Windows()
+	}
 	n := int64(0)
 	for i := range s.shards {
 		n += s.shards[i].windows.Load()
@@ -198,9 +234,11 @@ type Stats struct {
 	Len         int
 	OutqueueLen int
 	Windows     int
-	// Shards and Capacity are the front's fixed configuration.
+	// Shards and Capacity are the front's fixed configuration; Learner is
+	// the statistics mode ("partitioned" or "global").
 	Shards   int
 	Capacity int
+	Learner  string
 }
 
 // HitRatio returns the snapshot's read hit ratio (0 when no reads yet).
@@ -216,7 +254,7 @@ func (st Stats) HitRatio() float64 {
 // to call per response batch. Counters from shards with requests in flight
 // may lag by those requests; each counter is individually exact.
 func (s *Sharded) Stats() Stats {
-	st := Stats{Shards: len(s.shards), Capacity: s.capacity}
+	st := Stats{Shards: len(s.shards), Capacity: s.capacity, Learner: s.mode.String()}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		// Load readHits before reads: a concurrent Access bumps reads
@@ -230,49 +268,30 @@ func (s *Sharded) Stats() Stats {
 		st.OutqueueLen += int(sh.outq.Load())
 		st.Windows += int(sh.windows.Load())
 	}
+	if s.global != nil {
+		st.Windows = s.global.Windows()
+	}
 	st.Requests = st.Reads + st.Writes
 	st.ReadMisses = st.Reads - st.ReadHits
 	return st
 }
 
-// WindowStats merges the shards' current-window statistics into cache-wide
-// per-hint-set accounting: N and Nr sum across shards, D is the combined
-// mean distance, and Pr is recomputed from the merged numbers (Equation 2).
-// The result is sorted like Cache.WindowStats.
+// WindowStats returns cache-wide per-hint-set statistics for the current
+// window. In global mode this is one snapshot of the shared learner; in
+// partitioned mode the per-shard learners' snapshots are merged: N and Nr
+// sum across shards, D is the combined mean distance, and Pr is recomputed
+// from the merged numbers (Equation 2). Either way the result is sorted
+// like Cache.WindowStats.
 func (s *Sharded) WindowStats() []HintStat {
-	type acc struct {
-		n, nr uint64
-		dsum  float64
+	if s.global != nil {
+		return s.global.WindowStats()
 	}
-	merged := make(map[hint.ID]*acc)
-	var order []hint.ID
+	parts := make([][]HintStat, len(s.shards))
 	for i := range s.shards {
 		sh := &s.shards[i]
 		sh.mu.Lock()
-		stats := sh.c.WindowStats()
+		parts[i] = sh.c.WindowStats()
 		sh.mu.Unlock()
-		for _, hs := range stats {
-			a, ok := merged[hs.Hint]
-			if !ok {
-				a = &acc{}
-				merged[hs.Hint] = a
-				order = append(order, hs.Hint)
-			}
-			a.n += hs.N
-			a.nr += hs.Nr
-			a.dsum += hs.D * float64(hs.Nr)
-		}
 	}
-	out := make([]HintStat, 0, len(order))
-	for _, h := range order {
-		a := merged[h]
-		hs := HintStat{Hint: h, N: a.n, Nr: a.nr}
-		if a.nr > 0 {
-			hs.D = a.dsum / float64(a.nr)
-		}
-		hs.Pr = windowPriority(a.n, a.nr, a.dsum)
-		out = append(out, hs)
-	}
-	sortHintStats(out)
-	return out
+	return clicstats.MergeHintStats(parts...)
 }

@@ -1,205 +1,26 @@
 package core
 
 import (
-	"container/heap"
-	"sort"
-
+	"repro/internal/clicstats"
 	"repro/internal/hint"
-	"repro/internal/spacesaving"
 )
 
-// ssAux is the auxiliary state the adapted Space-Saving algorithm keeps per
-// tracked hint set (§5): read re-references and distance sum accumulated
-// while the hint set was being tracked.
-type ssAux struct {
-	nr   uint64
-	dsum float64
-}
+// HintStat is an analysis snapshot of one hint set's statistics; it lives
+// in internal/clicstats with the rest of the statistics machinery and is
+// aliased here for the cache's callers (experiments, server, hintproj).
+type HintStat = clicstats.HintStat
 
-// hintSummary is the §5 adaptation of Space-Saving to hint-set statistics.
-type hintSummary struct {
-	sum *spacesaving.Summary[hint.ID, ssAux]
-}
-
-func newHintSummary(k int) *hintSummary {
-	return &hintSummary{sum: spacesaving.New[hint.ID, ssAux](k)}
-}
-
-// countArrival records one request with hint set h in the current window.
-func (c *Cache) countArrival(h hint.ID) {
-	if c.topk != nil {
-		c.topk.sum.Touch(h)
-		return
-	}
-	st, ok := c.stats[h]
-	if !ok {
-		st = &winStats{}
-		c.stats[h] = st
-	}
-	st.n++
-}
-
-// creditReref records that a request with hint set h was followed by a read
-// re-reference at the given distance. In top-k mode the credit is dropped
-// unless h is currently tracked, exactly as §5 prescribes.
-func (c *Cache) creditReref(h hint.ID, dist uint64) {
-	if c.topk != nil {
-		if ctr, ok := c.topk.sum.Get(h); ok {
-			ctr.Val.nr++
-			ctr.Val.dsum += float64(dist)
-		}
-		return
-	}
-	st, ok := c.stats[h]
-	if !ok {
-		// The prior request that established the record may have arrived in
-		// an earlier window; stats were cleared since. Start a fresh entry
-		// so the re-reference still informs this window's priorities.
-		st = &winStats{}
-		c.stats[h] = st
-	}
-	st.nr++
-	st.dsum += float64(dist)
-}
-
-// windowPriority computes the within-window priority estimate
-// p̂r(H) = fhit(H)/D(H) = (nr/n)/(dsum/nr) = nr² / (n·dsum), Equation 2.
-func windowPriority(n, nr uint64, dsum float64) float64 {
-	if n == 0 || nr == 0 || dsum <= 0 {
-		return 0
-	}
-	return float64(nr) * float64(nr) / (float64(n) * dsum)
-}
-
-// rotateWindow ends the current statistics window: it folds the window's
-// estimates into the priorities with decay r (Equation 3), clears the
-// statistics, and rebuilds the group heap under the new priorities.
-func (c *Cache) rotateWindow() {
-	r := c.cfg.R
-	fresh := c.windowEstimates()
-
-	// Decay priorities for hint sets not seen this window, then blend in
-	// the fresh estimates. Entries that decay to (effectively) zero and
-	// have no cached pages are pruned to bound the table.
-	const eps = 1e-12
-	for h, old := range c.pr {
-		if _, seen := fresh[h]; seen {
-			continue
-		}
-		nv := (1 - r) * old
-		if nv < eps {
-			if _, live := c.groups[h]; !live {
-				delete(c.pr, h)
-				continue
-			}
-			nv = 0
-		}
-		c.pr[h] = nv
-	}
-	for h, phat := range fresh {
-		c.pr[h] = r*phat + (1-r)*c.pr[h]
-	}
-
-	// Clear window statistics (§3.2 / §5).
-	if c.topk != nil {
-		c.topk.sum.Reset()
-	} else {
-		c.stats = make(map[hint.ID]*winStats, len(c.stats))
-	}
-
-	// Rebuild the priority heap with the adjusted priorities (§4).
-	for _, g := range c.groups {
-		g.pr = c.pr[g.hint]
-	}
-	heap.Init(&c.heap)
-
-	c.sinceRotate = 0
-	c.windows++
-}
-
-// windowEstimates returns p̂r for every hint set with statistics in the
-// current window.
-func (c *Cache) windowEstimates() map[hint.ID]float64 {
-	if c.topk != nil {
-		out := make(map[hint.ID]float64, c.topk.sum.Len())
-		for _, ctr := range c.topk.sum.Counters() {
-			// §5: N(H) is the frequency estimate minus the error bound.
-			n := ctr.Count - ctr.Err
-			out[ctr.Key] = windowPriority(n, ctr.Val.nr, ctr.Val.dsum)
-		}
-		return out
-	}
-	out := make(map[hint.ID]float64, len(c.stats))
-	for h, st := range c.stats {
-		out[h] = windowPriority(st.n, st.nr, st.dsum)
-	}
-	return out
-}
-
-// HintStat is an analysis snapshot of one hint set's statistics, used to
-// regenerate the paper's Figure 3 scatter plot.
-type HintStat struct {
-	Hint hint.ID
-	Key  string // canonical hint-set key, filled by the caller's dictionary
-	N    uint64
-	Nr   uint64
-	D    float64 // mean read re-reference distance (0 when Nr == 0)
-	Pr   float64 // p̂r computed from this snapshot's statistics
-}
+// Windows returns the number of completed statistics windows.
+func (c *Cache) Windows() int { return c.learner.Windows() }
 
 // WindowStats returns the statistics accumulated so far in the current
 // window, sorted by descending N. Running a whole trace with Window larger
 // than the trace length makes this a whole-trace hint analysis (Figure 3).
-func (c *Cache) WindowStats() []HintStat {
-	var out []HintStat
-	if c.topk != nil {
-		for _, ctr := range c.topk.sum.Counters() {
-			n := ctr.Count - ctr.Err
-			hs := HintStat{Hint: ctr.Key, N: n, Nr: ctr.Val.nr}
-			if ctr.Val.nr > 0 {
-				hs.D = ctr.Val.dsum / float64(ctr.Val.nr)
-			}
-			hs.Pr = windowPriority(n, ctr.Val.nr, ctr.Val.dsum)
-			out = append(out, hs)
-		}
-	} else {
-		for h, st := range c.stats {
-			hs := HintStat{Hint: h, N: st.n, Nr: st.nr}
-			if st.nr > 0 {
-				hs.D = st.dsum / float64(st.nr)
-			}
-			hs.Pr = windowPriority(st.n, st.nr, st.dsum)
-			out = append(out, hs)
-		}
-	}
-	sortHintStats(out)
-	return out
-}
-
-// sortHintStats orders snapshots by descending N, ties broken by hint ID.
-func sortHintStats(out []HintStat) {
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].N != out[j].N {
-			return out[i].N > out[j].N
-		}
-		return out[i].Hint < out[j].Hint
-	})
-}
+func (c *Cache) WindowStats() []HintStat { return c.learner.WindowStats() }
 
 // Priorities returns a copy of the priorities currently in effect.
-func (c *Cache) Priorities() map[hint.ID]float64 {
-	out := make(map[hint.ID]float64, len(c.pr))
-	for h, p := range c.pr {
-		out[h] = p
-	}
-	return out
-}
+func (c *Cache) Priorities() map[hint.ID]float64 { return c.learner.Priorities() }
 
 // TrackedHintSets returns the number of hint sets with statistics in the
 // current window (bounded by k in top-k mode).
-func (c *Cache) TrackedHintSets() int {
-	if c.topk != nil {
-		return c.topk.sum.Len()
-	}
-	return len(c.stats)
-}
+func (c *Cache) TrackedHintSets() int { return c.learner.TrackedHintSets() }

@@ -133,9 +133,12 @@ func Grid(policies []string, sizes []int, t *trace.Trace, clicCfg core.Config, o
 // ServeClients drives one shared cache with one goroutine per client of an
 // interleaved trace (trace.Interleave tags each request with its client).
 // The cache must be safe for concurrent use — core.Sharded is; plain CLIC
-// and the baseline policies are not. Per-client read accounting is exact;
-// the aggregate hit count depends on the actual interleaving of the
-// clients' requests, so unlike Run it is not deterministic across calls.
+// and the baseline policies are not. The front's statistics-learning mode
+// (core.Config.Stats: per-shard partitioned or shared global) rides in with
+// the constructed cache; both modes are safe here. Per-client read
+// accounting is exact; the aggregate hit count depends on the actual
+// interleaving of the clients' requests, so unlike Run it is not
+// deterministic across calls.
 func ServeClients(p policy.Policy, t *trace.Trace) sim.Result {
 	if prep, ok := p.(policy.Preparer); ok {
 		prep.Prepare(t.Reqs)

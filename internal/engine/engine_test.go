@@ -212,3 +212,120 @@ func TestServeClientsMoreClientsThanShards(t *testing.T) {
 		t.Errorf("Stats.Requests = %d, want %d", st.Requests, merged.Len())
 	}
 }
+
+// TestPartitionedGoldenPreRefactor pins CLIC's hit counts on the seeded
+// test trace to the values measured before the statistics machinery moved
+// out of core.Cache into internal/clicstats: the Partitioned learner must
+// reproduce the pre-refactor behavior bit for bit, for plain and sharded
+// caches, in exact, top-k and decaying configurations.
+func TestPartitionedGoldenPreRefactor(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    core.Config
+		shards int // 0 = plain Cache
+		hits   uint64
+	}{
+		{"plain/exact", core.Config{Capacity: 2970, Window: 5000}, 0, 3718},
+		{"plain/topk", core.Config{Capacity: 2970, Window: 5000, TopK: 20}, 0, 3718},
+		{"plain/decay", core.Config{Capacity: 2970, Window: 5000, R: 0.5}, 0, 3718},
+		{"sharded2/exact", core.Config{Capacity: 2970, Window: 5000}, 2, 3715},
+		{"sharded2/topk", core.Config{Capacity: 2970, Window: 5000, TopK: 20}, 2, 3715},
+		{"sharded2/decay", core.Config{Capacity: 2970, Window: 5000, R: 0.5}, 2, 3704},
+		{"sharded4/exact", core.Config{Capacity: 2970, Window: 5000}, 4, 3618},
+		{"sharded4/topk", core.Config{Capacity: 2970, Window: 5000, TopK: 20}, 4, 3618},
+		{"sharded4/decay", core.Config{Capacity: 2970, Window: 5000, R: 0.5}, 4, 3644},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var p policy.Policy
+			if tc.shards == 0 {
+				p = core.New(tc.cfg)
+			} else {
+				p = core.NewSharded(tc.cfg, tc.shards)
+			}
+			res := sim.Run(p, testTrace)
+			if res.Reads != 20973 {
+				t.Fatalf("Reads = %d, want 20973 (trace generation changed?)", res.Reads)
+			}
+			if res.ReadHits != tc.hits {
+				t.Errorf("ReadHits = %d, want pre-refactor golden %d", res.ReadHits, tc.hits)
+			}
+		})
+	}
+}
+
+// TestServeClientsGlobalSingleClient: with one client, ServeClients is a
+// sequential replay, so the global and partitioned 1-shard fronts must
+// match the plain serial simulation exactly — the engine-path equivalence
+// test for the learner modes.
+func TestServeClientsGlobalSingleClient(t *testing.T) {
+	tr := testTrace.Truncate(15000)
+	cfg := core.Config{Capacity: 2000, Window: 2000}
+	want := sim.Run(core.New(cfg), tr)
+	for _, mode := range []core.StatsMode{core.StatsPartitioned, core.StatsGlobal} {
+		mcfg := cfg
+		mcfg.Stats = mode
+		got := ServeClients(core.NewSharded(mcfg, 1), tr)
+		if got.Reads != want.Reads || got.ReadHits != want.ReadHits {
+			t.Errorf("%v: ServeClients %d/%d hits/reads, serial %d/%d",
+				mode, got.ReadHits, got.Reads, want.ReadHits, want.Reads)
+		}
+		if got.ReadHits == 0 {
+			t.Errorf("%v: no hits; test is vacuous", mode)
+		}
+	}
+}
+
+// TestServeClientsGlobalMoreClientsThanShards drives a 2-shard front with
+// the shared global learner from 6 clients: client goroutines contend for
+// both the shard mutexes and the learner's stripe locks, and rotations by
+// one shard must propagate to the others' victim heaps. Under -race (the
+// CI configuration) this is the engine-path stress test for global
+// learning.
+func TestServeClientsGlobalMoreClientsThanShards(t *testing.T) {
+	parts := make([]*trace.Trace, 6)
+	for i := range parts {
+		parts[i] = testTrace.Truncate(6000)
+		parts[i].Name = string(rune('A' + i))
+	}
+	merged, err := trace.Interleave("SIXG", parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewSharded(core.Config{Capacity: 3000, Window: 3000, Stats: core.StatsGlobal}, 2)
+	res := ServeClients(s, merged)
+
+	if len(res.PerClient) != 6 {
+		t.Fatalf("PerClient has %d entries, want 6", len(res.PerClient))
+	}
+	var reads, hits uint64
+	for c, st := range res.PerClient {
+		wantReads := uint64(0)
+		for _, r := range merged.Reqs {
+			if int(r.Client) == c && r.Op == trace.Read {
+				wantReads++
+			}
+		}
+		if st.Reads != wantReads {
+			t.Errorf("client %d Reads = %d, want %d", c, st.Reads, wantReads)
+		}
+		reads += st.Reads
+		hits += st.ReadHits
+	}
+	if res.Reads != reads || res.ReadHits != hits {
+		t.Errorf("totals (%d, %d) disagree with per-client sums (%d, %d)", res.Reads, res.ReadHits, reads, hits)
+	}
+	if res.ReadHits == 0 {
+		t.Error("no hits at all; cache is not being exercised")
+	}
+	st := s.Stats()
+	if st.Reads != res.Reads || st.ReadHits != res.ReadHits {
+		t.Errorf("Stats (%d reads, %d hits) disagree with result (%d, %d)", st.Reads, st.ReadHits, res.Reads, res.ReadHits)
+	}
+	if st.Learner != "global" {
+		t.Errorf("Stats.Learner = %q, want global", st.Learner)
+	}
+	if want := merged.Len() / 3000; st.Windows != want {
+		t.Errorf("Windows = %d, want exactly %d (shared learner rotates cache-wide)", st.Windows, want)
+	}
+}

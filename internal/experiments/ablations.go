@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/hintproj"
+	"repro/internal/policy"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/trace"
@@ -20,7 +21,7 @@ import (
 // DB2_C300 trace with a mid-size cache. The paper fixes r = 1; this table
 // shows how much smoothing older windows helps or hurts.
 func (e *Env) AblationR() (*report.Table, error) {
-	t, err := e.Trace("DB2_C300")
+	t, err := e.Trace(AblationTraceName)
 	if err != nil {
 		return nil, err
 	}
@@ -43,7 +44,7 @@ func (e *Env) AblationR() (*report.Table, error) {
 
 // AblationW varies the statistics window W (§3.2) on the DB2_C300 trace.
 func (e *Env) AblationW() (*report.Table, error) {
-	t, err := e.Trace("DB2_C300")
+	t, err := e.Trace(AblationTraceName)
 	if err != nil {
 		return nil, err
 	}
@@ -70,7 +71,7 @@ func (e *Env) AblationW() (*report.Table, error) {
 // cache capacity; the paper uses 5×. NoOutqueue disables re-reference
 // tracking for uncached pages entirely, showing why the outqueue exists.
 func (e *Env) AblationOutqueue() (*report.Table, error) {
-	t, err := e.Trace("DB2_C300")
+	t, err := e.Trace(AblationTraceName)
 	if err != nil {
 		return nil, err
 	}
@@ -95,6 +96,72 @@ func (e *Env) AblationOutqueue() (*report.Table, error) {
 	for i, res := range engine.Run(jobs, e.opts()) {
 		tbl.AddRow(labels[i], report.Pct(res.HitRatio()))
 	}
+	return tbl, nil
+}
+
+// AblationLearnerShards is the shard-count sweep of the learner ablation.
+var AblationLearnerShards = []int{1, 2, 4, 8}
+
+// AblationLearner evaluates the sharded front's statistics-learning modes
+// (core.Config.Stats): fully-partitioned learning (each shard learns from
+// its own ~1/N request substream over a W/N window) against the shared
+// global learner (all shards feed one lock-striped learner over the full
+// window W), across shard counts × cache sizes on the DB2_C60 trace (the
+// workload with the most second-tier locality, so mode differences are
+// visible even in scaled-down runs). At 1
+// shard the modes learn identical priorities, so that row doubles as an
+// equivalence check; at higher shard counts the gap measures what
+// fragmenting CLIC's statistics costs — the ROADMAP's open sharded-tuning
+// question as a table.
+func (e *Env) AblationLearner() (*report.Table, error) {
+	t, err := e.Trace(LearnerTraceName)
+	if err != nil {
+		return nil, err
+	}
+	sizes, err := e.ServerSizes(LearnerTraceName)
+	if err != nil {
+		return nil, err
+	}
+	// Ends of the sweep: the small cache stresses victim selection, the
+	// large one admission.
+	sizes = []int{sizes[0], sizes[len(sizes)-1]}
+	modes := []core.StatsMode{core.StatsPartitioned, core.StatsGlobal}
+	tbl := report.NewTable(
+		"Ablation — partitioned vs global statistics learning, DB2_C60",
+		"shards", "cache (pages)", "partitioned hit ratio", "global hit ratio")
+	type cell struct {
+		shards, size int
+	}
+	var jobs []engine.Job
+	var cells []cell
+	for _, mode := range modes {
+		for _, shards := range AblationLearnerShards {
+			for _, size := range sizes {
+				cfg := e.clicConfig()
+				cfg.Capacity = sim.ClicCapacity(size)
+				cfg.Stats = mode
+				shards := shards
+				jobs = append(jobs, engine.Job{
+					New:   func() policy.Policy { return core.NewSharded(cfg, shards) },
+					Trace: t,
+				})
+				cells = append(cells, cell{shards: shards, size: size})
+			}
+		}
+	}
+	results := engine.Run(jobs, e.opts())
+	half := len(jobs) / 2 // first half partitioned, second half global
+	hitsByMode := make([]uint64, len(modes))
+	for i := 0; i < half; i++ {
+		part, glob := results[i], results[i+half]
+		hitsByMode[0] += part.ReadHits
+		hitsByMode[1] += glob.ReadHits
+		tbl.AddRow(report.Num(cells[i].shards), report.Num(cells[i].size),
+			report.Pct(part.HitRatio()), report.Pct(glob.HitRatio()))
+	}
+	tbl.AddNote("partitioned: per-shard W/N windows and top-k summaries; global: one shared lock-striped learner over the full W")
+	// Machine-greppable totals: the CI smoke run asserts both are nonzero.
+	tbl.AddNote("smoke totals: partitioned_hits=%d global_hits=%d", hitsByMode[0], hitsByMode[1])
 	return tbl, nil
 }
 
@@ -123,7 +190,7 @@ func (e *Env) PolicyZoo(traceName string, cacheSize int) (*report.Table, error) 
 // the informative hint types and projecting hint sets onto them. It reruns
 // the Figure-10 noise experiment with generalization in front of CLIC.
 func (e *Env) ExtensionGeneralize() (*report.Table, error) {
-	names := []string{"DB2_C60", "DB2_C300", "DB2_C540"}
+	names := TPCCTraceNames
 	cols := append([]string{"T (noise hint types)"}, names...)
 	tbl := report.NewTable(
 		fmt.Sprintf("Extension (§8) — Figure 10 with hint generalization, k=100, %d-page cache", MidCacheSize), cols...)

@@ -87,6 +87,69 @@ func (e *Env) Preset(name string) (workload.Preset, error) {
 	return p, nil
 }
 
+// Prefetch generates every named trace that is not already in memory or
+// on disk, fanning the generations across a worker pool (workers <= 0
+// selects GOMAXPROCS). Trace generation is an inherently serial simulation
+// per trace, so this cross-trace fan-out is what removes generation as the
+// serial bottleneck of a multi-figure experiment run; the traces are
+// bit-identical to on-demand Trace calls (workload.GenerateAll's equality
+// guarantee). Duplicate and already-cached names are skipped.
+func (e *Env) Prefetch(names []string, workers int) error {
+	seen := make(map[string]bool, len(names))
+	var missing []workload.Preset
+	for _, name := range names {
+		if seen[name] || e.traces[name] != nil {
+			continue
+		}
+		seen[name] = true
+		p, err := e.Preset(name)
+		if err != nil {
+			return err
+		}
+		if t, ok := e.loadCached(p); ok {
+			e.traces[name] = t
+			continue
+		}
+		missing = append(missing, p)
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	traces, err := workload.GenerateAll(missing, workers)
+	if err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	for i, p := range missing {
+		e.storeCached(p, traces[i])
+		e.traces[p.Name] = traces[i]
+	}
+	return nil
+}
+
+// loadCached loads a preset's trace from the disk cache if it is present
+// and matches the preset's request budget.
+func (e *Env) loadCached(p workload.Preset) (*trace.Trace, bool) {
+	if e.Dir == "" {
+		return nil, false
+	}
+	t, err := trace.Load(e.cachePath(p))
+	if err != nil || t.Len() != p.Requests {
+		return nil, false
+	}
+	return t, true
+}
+
+// storeCached writes a generated trace to the disk cache. Failures are
+// non-fatal: regeneration always works.
+func (e *Env) storeCached(p workload.Preset, t *trace.Trace) {
+	if e.Dir == "" {
+		return
+	}
+	if err := os.MkdirAll(e.Dir, 0o755); err == nil {
+		_ = trace.Save(e.cachePath(p), t)
+	}
+}
+
 // Trace returns the named trace, generating (and disk-caching) on demand.
 func (e *Env) Trace(name string) (*trace.Trace, error) {
 	if t, ok := e.traces[name]; ok {
@@ -96,23 +159,15 @@ func (e *Env) Trace(name string) (*trace.Trace, error) {
 	if err != nil {
 		return nil, err
 	}
-	if e.Dir != "" {
-		path := e.cachePath(p)
-		if t, err := trace.Load(path); err == nil && t.Len() == p.Requests {
-			e.traces[name] = t
-			return t, nil
-		}
+	if t, ok := e.loadCached(p); ok {
+		e.traces[name] = t
+		return t, nil
 	}
 	t, err := workload.Generate(p)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: generating %s: %w", name, err)
 	}
-	if e.Dir != "" {
-		if err := os.MkdirAll(e.Dir, 0o755); err == nil {
-			// Cache failures are non-fatal; regeneration always works.
-			_ = trace.Save(e.cachePath(p), t)
-		}
-	}
+	e.storeCached(p, t)
 	e.traces[name] = t
 	return t, nil
 }

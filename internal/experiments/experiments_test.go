@@ -172,3 +172,76 @@ func TestAblationsAndZoo(t *testing.T) {
 		t.Errorf("zoo rows = %d, want 10 policies", len(zoo.Rows))
 	}
 }
+
+func TestAblationLearner(t *testing.T) {
+	tbl, err := testEnv().AblationLearner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 8 { // 4 shard counts × 2 cache sizes
+		t.Fatalf("got %d rows, want 8", len(tbl.Rows))
+	}
+	// The 1-shard rows are the built-in equivalence check: with a single
+	// shard both modes learn from the identical request stream over the
+	// identical window, so their hit ratios must agree exactly.
+	for _, row := range tbl.Rows {
+		if row[0] != "1" {
+			continue
+		}
+		if row[2] != row[3] {
+			t.Errorf("1-shard row disagrees across modes: partitioned %s, global %s", row[2], row[3])
+		}
+	}
+	found := false
+	for _, n := range tbl.Notes {
+		if strings.Contains(n, "partitioned_hits=") && strings.Contains(n, "global_hits=") {
+			found = true
+			if strings.Contains(n, "partitioned_hits=0 ") || strings.HasSuffix(n, "global_hits=0") {
+				t.Errorf("smoke totals report zero hits: %q", n)
+			}
+		}
+	}
+	if !found {
+		t.Error("smoke totals note missing")
+	}
+}
+
+func TestPrefetch(t *testing.T) {
+	e := testEnv()
+	if err := e.Prefetch([]string{"DB2_C60", "MY_H98", "DB2_C60"}, 2); err != nil {
+		t.Fatal(err)
+	}
+	pre, err := e.Trace("DB2_C60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Trace must return the prefetched object, not regenerate.
+	again, err := e.Trace("DB2_C60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre != again {
+		t.Error("Trace after Prefetch did not return the memoised trace")
+	}
+	// Prefetched traces must be bit-identical to on-demand generation.
+	fresh := testEnv()
+	want, err := fresh.Trace("MY_H98")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Trace("MY_H98")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() {
+		t.Fatalf("lengths differ: %d vs %d", got.Len(), want.Len())
+	}
+	for i := range want.Reqs {
+		if got.Reqs[i] != want.Reqs[i] {
+			t.Fatalf("request %d differs", i)
+		}
+	}
+	if err := e.Prefetch([]string{"NOPE"}, 2); err == nil {
+		t.Error("unknown trace name should error")
+	}
+}

@@ -20,7 +20,7 @@ var PaperPolicies = []string{"OPT", "LRU", "ARC", "TQ", "CLIC"}
 // MySQL TPC-H traces.
 func (e *Env) Fig2() ([]*report.Table, error) {
 	var out []*report.Table
-	for _, name := range []string{"DB2_C60", "DB2_H80", "MY_H65"} {
+	for _, name := range Fig2TraceNames {
 		t, err := e.Trace(name)
 		if err != nil {
 			return nil, err
@@ -60,7 +60,7 @@ func (e *Env) Fig2() ([]*report.Table, error) {
 // with a window longer than the trace, so the numbers are exactly the
 // beneﬁt/cost estimates of Equations 1–2.
 func (e *Env) Fig3() (*report.Table, error) {
-	t, err := e.Trace("DB2_C60")
+	t, err := e.Trace(Fig3TraceName)
 	if err != nil {
 		return nil, err
 	}
@@ -118,6 +118,27 @@ var TraceNames = []string{
 	"MY_H65", "MY_H98",
 }
 
+// Trace dependencies of the experiment functions, declared once here and
+// used both by the functions themselves and by cmd/experiments' parallel
+// prefetch (Env.Prefetch) — a single source, so the prefetch list cannot
+// drift from what the experiments actually replay.
+var (
+	// TPCCTraceNames/TPCHTraceNames/MySQLTraceNames are the per-workload
+	// trace families (Figures 6/7/8; the TPC-C family also drives Figures
+	// 10–11 and the §8 extension).
+	TPCCTraceNames  = []string{"DB2_C60", "DB2_C300", "DB2_C540"}
+	TPCHTraceNames  = []string{"DB2_H80", "DB2_H400", "DB2_H720"}
+	MySQLTraceNames = []string{"MY_H65", "MY_H98"}
+	// Fig2TraceNames is one trace per hint vocabulary (Figure 2).
+	Fig2TraceNames = []string{"DB2_C60", "DB2_H80", "MY_H65"}
+	// Fig3TraceName is the hint-priority analysis trace (Figure 3).
+	Fig3TraceName = "DB2_C60"
+	// AblationTraceName drives the r/W/outqueue ablations and the policy
+	// zoo; LearnerTraceName drives the partitioned-vs-global ablation.
+	AblationTraceName = "DB2_C300"
+	LearnerTraceName  = "DB2_C60"
+)
+
 // hitRatioSweep produces one hit-ratio-vs-cache-size table for a trace.
 func (e *Env) hitRatioSweep(figure, traceName string, policies []string) (*report.Table, error) {
 	t, err := e.Trace(traceName)
@@ -149,17 +170,17 @@ func (e *Env) hitRatioSweep(figure, traceName string, policies []string) (*repor
 // Fig6 regenerates the DB2 TPC-C comparison (Figure 6): read hit ratio as a
 // function of server cache size for OPT, LRU, ARC, TQ and CLIC.
 func (e *Env) Fig6() ([]*report.Table, error) {
-	return e.sweepFamily("Figure 6", []string{"DB2_C60", "DB2_C300", "DB2_C540"})
+	return e.sweepFamily("Figure 6", TPCCTraceNames)
 }
 
 // Fig7 regenerates the DB2 TPC-H comparison (Figure 7).
 func (e *Env) Fig7() ([]*report.Table, error) {
-	return e.sweepFamily("Figure 7", []string{"DB2_H80", "DB2_H400", "DB2_H720"})
+	return e.sweepFamily("Figure 7", TPCHTraceNames)
 }
 
 // Fig8 regenerates the MySQL TPC-H comparison (Figure 8).
 func (e *Env) Fig8() ([]*report.Table, error) {
-	return e.sweepFamily("Figure 8", []string{"MY_H65", "MY_H98"})
+	return e.sweepFamily("Figure 8", MySQLTraceNames)
 }
 
 func (e *Env) sweepFamily(figure string, names []string) ([]*report.Table, error) {
@@ -183,10 +204,7 @@ var Fig9Ks = []int{1, 2, 5, 10, 20, 50, 100}
 // row tracks all hint sets exactly (k = ∞).
 func (e *Env) Fig9() ([]*report.Table, error) {
 	var out []*report.Table
-	for _, family := range [][]string{
-		{"DB2_C60", "DB2_C300", "DB2_C540"},
-		{"DB2_H80", "DB2_H400", "DB2_H720"},
-	} {
+	for _, family := range [][]string{TPCCTraceNames, TPCHTraceNames} {
 		cols := append([]string{"k"}, family...)
 		tbl := report.NewTable(
 			fmt.Sprintf("Figure 9 — top-k hint filtering, %d-page server cache", MidCacheSize), cols...)
@@ -230,7 +248,7 @@ var Fig10Ts = []int{0, 1, 2, 3}
 // types (domain 10, Zipf z=1) are appended to every request of the DB2
 // TPC-C traces; CLIC tracks k=100 hint sets in an 18K-page cache.
 func (e *Env) Fig10() (*report.Table, error) {
-	names := []string{"DB2_C60", "DB2_C300", "DB2_C540"}
+	names := TPCCTraceNames
 	cols := append([]string{"T (noise hint types)"}, names...)
 	tbl := report.NewTable(
 		fmt.Sprintf("Figure 10 — effect of noise hint types, k=100, %d-page server cache", MidCacheSize), cols...)
@@ -277,7 +295,7 @@ func clicJob(cfg core.Config) func() policy.Policy {
 // the comparison gives each full-length trace a private 6K-page CLIC cache
 // (an equal partition of the shared cache).
 func (e *Env) Fig11() (*report.Table, error) {
-	names := []string{"DB2_C60", "DB2_C300", "DB2_C540"}
+	names := TPCCTraceNames
 	traces := make([]*trace.Trace, len(names))
 	for i, name := range names {
 		t, err := e.Trace(name)

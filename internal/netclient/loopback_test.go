@@ -307,3 +307,93 @@ func TestHelloVersionMismatch(t *testing.T) {
 		t.Error("server accepted a batch before Hello")
 	}
 }
+
+// TestLoopbackGlobalLearner runs the whole network stack on a server whose
+// shards share the global lock-striped learner: three concurrent client
+// connections against two shards, so connection handlers contend for shard
+// mutexes and learner stripes at once — the TCP-path stress test for
+// global learning (run under -race in CI). Order-free quantities are
+// checked against the in-process ServeClients path, and the admin snapshot
+// must report the mode.
+func TestLoopbackGlobalLearner(t *testing.T) {
+	parts := make([]*trace.Trace, 3)
+	for i := range parts {
+		parts[i] = testTrace.Truncate(8000)
+		parts[i].Name = fmt.Sprintf("g%d", i)
+	}
+	merged, err := trace.Interleave("TRIPLE_GLOBAL", parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Capacity: 3000, Window: 5000, Stats: core.StatsGlobal}
+	want := engine.ServeClients(core.NewSharded(cfg, 2), merged)
+
+	srv := startServer(t, server.Config{Cache: cfg, Shards: 2})
+	if err := srv.ListenAdmin("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := netclient.Replay(srv.Addr().String(), merged, netclient.ReplayOptions{BatchSize: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range got.PerClient {
+		if got.PerClient[c].Reads != want.PerClient[c].Reads {
+			t.Errorf("client %d Reads = %d, want %d", c, got.PerClient[c].Reads, want.PerClient[c].Reads)
+		}
+	}
+	if got.Reads != want.Reads {
+		t.Errorf("Reads = %d, want %d", got.Reads, want.Reads)
+	}
+	if got.ReadHits == 0 {
+		t.Error("no hits at all")
+	}
+	st := srv.Cache().Stats()
+	if st.ReadHits != got.ReadHits || st.Reads != got.Reads {
+		t.Errorf("server stats (%d/%d) disagree with client accounting (%d/%d)",
+			st.ReadHits, st.Reads, got.ReadHits, got.Reads)
+	}
+	if st.Learner != "global" {
+		t.Errorf("server Stats.Learner = %q, want global", st.Learner)
+	}
+	if want := merged.Len() / 5000; st.Windows != want {
+		t.Errorf("Windows = %d, want exactly %d (shared learner)", st.Windows, want)
+	}
+
+	resp, err := http.Get("http://" + srv.AdminAddr().String() + "/stats?top=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap server.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Core.Learner != "global" {
+		t.Errorf("admin snapshot learner = %q, want global", snap.Core.Learner)
+	}
+	if snap.Core.Requests != uint64(merged.Len()) {
+		t.Errorf("admin Requests = %d, want %d", snap.Core.Requests, merged.Len())
+	}
+}
+
+// TestLoopbackGoldenGlobalSingleShard: a 1-shard global-learner server
+// replayed by a single client must match the plain in-process cache
+// exactly — the partitioned-vs-global equivalence carried through the
+// whole TCP stack.
+func TestLoopbackGoldenGlobalSingleShard(t *testing.T) {
+	tr := testTrace.Truncate(12000)
+	cfg := core.Config{Capacity: 2000, Window: 4000, Stats: core.StatsGlobal}
+	want := engine.ServeClients(core.NewSharded(cfg, 1), tr)
+
+	srv := startServer(t, server.Config{Cache: cfg, Shards: 1})
+	got, err := netclient.Replay(srv.Addr().String(), tr, netclient.ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reads != want.Reads || got.ReadHits != want.ReadHits {
+		t.Errorf("loopback %d/%d hits/reads, in-process %d/%d", got.ReadHits, got.Reads, want.ReadHits, want.Reads)
+	}
+	if got.ReadHits == 0 {
+		t.Error("no hits at all; the loopback path is vacuous")
+	}
+}

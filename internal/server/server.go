@@ -395,7 +395,12 @@ type WindowStatSnapshot struct {
 	Pr  float64 `json:"pr"`
 }
 
-// Snapshot is the admin view of a running server.
+// Snapshot is the admin view of a running server. Core.Learner reports
+// where hint statistics are learned ("partitioned": per shard over W/N
+// windows; "global": one shared lock-striped learner over the full
+// window), and WindowStats is the current window of that learning —
+// merged across shards in partitioned mode, the shared learner's view in
+// global mode.
 type Snapshot struct {
 	Policy      string               `json:"policy"`
 	Core        core.Stats           `json:"core"`

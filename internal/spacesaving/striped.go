@@ -1,0 +1,147 @@
+package spacesaving
+
+import (
+	"sort"
+	"sync"
+)
+
+// Striped is a concurrency-safe Space-Saving wrapper: the key space is
+// partitioned across S stripes by a caller-supplied hash, each stripe a
+// mutex-guarded Summary with a 1/S share of the counter budget. Keys from
+// different stripes are touched in parallel; keys in the same stripe
+// serialize on its lock.
+//
+// Striping approximates a single Summary of capacity k: each stripe
+// performs exact Space-Saving over the keys hashed to it, so a globally
+// frequent key is tracked as long as it is frequent within its stripe. The
+// error bound (Counter.Err) is per stripe, not global — with a roughly
+// uniform key spread the guarantees match a Summary of capacity k over a
+// 1/S substream, which is how CLIC's global top-k learner uses it.
+type Striped[K comparable, V any] struct {
+	k       int
+	hash    func(K) uint64
+	stripes []stripedStripe[K, V]
+}
+
+type stripedStripe[K comparable, V any] struct {
+	mu  sync.Mutex
+	sum *Summary[K, V]
+}
+
+// NewStriped returns a striped summary with a total budget of k counters
+// split across the given number of stripes (each stripe gets at least one).
+// hash assigns keys to stripes; it must be deterministic. Panics if
+// k <= 0, stripes <= 0, or hash is nil.
+func NewStriped[K comparable, V any](k, stripes int, hash func(K) uint64) *Striped[K, V] {
+	if k <= 0 {
+		panic("spacesaving: k must be positive")
+	}
+	if stripes <= 0 {
+		panic("spacesaving: stripes must be positive")
+	}
+	if hash == nil {
+		panic("spacesaving: hash must not be nil")
+	}
+	if stripes > k {
+		stripes = k
+	}
+	s := &Striped[K, V]{k: k, hash: hash, stripes: make([]stripedStripe[K, V], stripes)}
+	for i := range s.stripes {
+		per := k / stripes
+		if i < k%stripes {
+			per++
+		}
+		s.stripes[i].sum = New[K, V](per)
+	}
+	return s
+}
+
+// K returns the total counter budget.
+func (s *Striped[K, V]) K() int { return s.k }
+
+// Stripes returns the stripe count.
+func (s *Striped[K, V]) Stripes() int { return len(s.stripes) }
+
+func (s *Striped[K, V]) stripe(key K) *stripedStripe[K, V] {
+	return &s.stripes[s.hash(key)%uint64(len(s.stripes))]
+}
+
+// Touch records one occurrence of key in its stripe.
+func (s *Striped[K, V]) Touch(key K) {
+	st := s.stripe(key)
+	st.mu.Lock()
+	st.sum.Touch(key)
+	st.mu.Unlock()
+}
+
+// Update calls fn on key's counter — with the stripe lock held, so fn may
+// mutate Counter.Val — and reports whether the key was tracked. fn must not
+// call back into the Striped summary.
+func (s *Striped[K, V]) Update(key K, fn func(*Counter[K, V])) bool {
+	st := s.stripe(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	c, ok := st.sum.Get(key)
+	if ok {
+		fn(c)
+	}
+	return ok
+}
+
+// Len returns the number of keys currently tracked across all stripes.
+func (s *Striped[K, V]) Len() int {
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += st.sum.Len()
+		st.mu.Unlock()
+	}
+	return n
+}
+
+// Counters returns value copies of every tracked counter, merged across
+// stripes in descending count order. The copies are detached: mutating them
+// does not affect the summary.
+func (s *Striped[K, V]) Counters() []Counter[K, V] {
+	return s.collect(false)
+}
+
+// Drain returns value copies of every tracked counter and resets all
+// stripes — the window-rotation primitive. Each stripe is drained
+// atomically under its lock; concurrent Touch calls land either in the
+// drained window or the fresh one, never both.
+func (s *Striped[K, V]) Drain() []Counter[K, V] {
+	return s.collect(true)
+}
+
+// Reset discards all counters and statistics.
+func (s *Striped[K, V]) Reset() {
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		st.sum.Reset()
+		st.mu.Unlock()
+	}
+}
+
+func (s *Striped[K, V]) collect(reset bool) []Counter[K, V] {
+	var out []Counter[K, V]
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		for _, c := range st.sum.Counters() {
+			cp := *c
+			cp.bucket, cp.prev, cp.next = nil, nil, nil
+			out = append(out, cp)
+		}
+		if reset {
+			st.sum.Reset()
+		}
+		st.mu.Unlock()
+	}
+	// Stripes are individually ordered; restore the global descending-count
+	// order of Summary.Counters.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}

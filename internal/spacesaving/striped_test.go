@@ -1,0 +1,166 @@
+package spacesaving
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func stripedHash(k int) uint64 {
+	x := uint64(k) * 0x9e3779b97f4a7c15
+	x ^= x >> 29
+	return x
+}
+
+func TestStripedBasics(t *testing.T) {
+	s := NewStriped[int, int](10, 3, stripedHash)
+	if s.K() != 10 || s.Stripes() != 3 {
+		t.Fatalf("K=%d Stripes=%d", s.K(), s.Stripes())
+	}
+	// Stripe budgets must sum to k.
+	total := 0
+	for i := range s.stripes {
+		total += s.stripes[i].sum.K()
+	}
+	if total != 10 {
+		t.Errorf("stripe budgets sum to %d, want 10", total)
+	}
+	for i := 0; i < 5; i++ {
+		s.Touch(1)
+		s.Touch(2)
+	}
+	s.Touch(2)
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	cs := s.Counters()
+	if len(cs) != 2 || cs[0].Key != 2 || cs[0].Count != 6 || cs[1].Key != 1 || cs[1].Count != 5 {
+		t.Errorf("Counters = %+v", cs)
+	}
+	if !s.Update(1, func(c *Counter[int, int]) { c.Val = 7 }) {
+		t.Error("Update missed a tracked key")
+	}
+	if s.Update(99, func(c *Counter[int, int]) {}) {
+		t.Error("Update hit an untracked key")
+	}
+	got := s.Counters()
+	for _, c := range got {
+		if c.Key == 1 && c.Val != 7 {
+			t.Errorf("Val not updated: %+v", c)
+		}
+	}
+	// Counters are detached copies.
+	got[0].Count = 999
+	if s.Counters()[0].Count == 999 {
+		t.Error("Counters returned a live reference")
+	}
+	drained := s.Drain()
+	if len(drained) != 2 || s.Len() != 0 {
+		t.Errorf("Drain returned %d entries, Len now %d", len(drained), s.Len())
+	}
+	s.Touch(5)
+	if s.Len() != 1 {
+		t.Errorf("summary unusable after Drain: Len = %d", s.Len())
+	}
+	s.Reset()
+	if s.Len() != 0 {
+		t.Error("Reset did not clear")
+	}
+}
+
+// TestStripedFindsFrequent drives a skewed stream and checks that the
+// striped summary keeps the frequent keys, like a plain Summary would.
+func TestStripedFindsFrequent(t *testing.T) {
+	s := NewStriped[int, struct{}](16, 4, stripedHash)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 50000; i++ {
+		// Keys 0–3 take ~80% of the stream; 4–200 share the rest.
+		k := rng.Intn(4)
+		if rng.Intn(5) == 0 {
+			k = 4 + rng.Intn(197)
+		}
+		s.Touch(k)
+	}
+	top := map[int]bool{}
+	for i, c := range s.Counters() {
+		if i == 8 {
+			break
+		}
+		top[c.Key] = true
+	}
+	for k := 0; k < 4; k++ {
+		if !top[k] {
+			t.Errorf("frequent key %d missing from the top counters", k)
+		}
+	}
+}
+
+func TestStripedClampsStripes(t *testing.T) {
+	s := NewStriped[int, struct{}](2, 8, stripedHash)
+	if s.Stripes() != 2 {
+		t.Errorf("Stripes = %d, want clamped to k = 2", s.Stripes())
+	}
+	for _, bad := range []func(){
+		func() { NewStriped[int, struct{}](0, 1, stripedHash) },
+		func() { NewStriped[int, struct{}](1, 0, stripedHash) },
+		func() { NewStriped[int, struct{}](1, 1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad NewStriped arguments should panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// TestStripedConcurrent exercises the stripe locks under -race: concurrent
+// Touch/Update/Drain from many goroutines, then an exact count check on a
+// quiet summary (every key below per-stripe capacity, so counts are exact).
+func TestStripedConcurrent(t *testing.T) {
+	const (
+		workers = 8
+		keys    = 12
+		perW    = 5000
+	)
+	s := NewStriped[int, int](64, 4, stripedHash)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				k := (w + i) % keys
+				s.Touch(k)
+				s.Update(k, func(c *Counter[int, int]) { c.Val++ })
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		// Snapshot readers racing the writers.
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				s.Counters()
+				s.Len()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	var total uint64
+	for _, c := range s.Counters() {
+		if c.Err != 0 {
+			t.Errorf("key %d has error bound %d; capacity was never exceeded", c.Key, c.Err)
+		}
+		total += c.Count
+	}
+	if total != workers*perW {
+		t.Errorf("total count = %d, want %d", total, workers*perW)
+	}
+}
