@@ -358,3 +358,80 @@ func BenchmarkServeClientsGlobal(b *testing.B) {
 	}
 	reportServeMetrics(b, t, res)
 }
+
+// BenchmarkShardedSingleOwner replays the serveBench trace through the
+// single-owner engine: one producer streaming DefaultAccessBatch-sized
+// batches, shard owners running the cache lock-free. The pair against
+// BenchmarkShardedPartitioned (same trace, same cache, mutex engine,
+// per-request replay) prices the engine: batching amortizes the per-request
+// mutex and atomics away, and on multi-core hardware the shard owners also
+// run genuinely in parallel with the producer's routing pass.
+func BenchmarkShardedSingleOwner(b *testing.B) {
+	t := serveBenchTrace(b)
+	cfg := serveBenchConfig()
+	cfg.Engine = core.EngineOwner
+	hits := make([]bool, core.DefaultAccessBatch)
+	b.ResetTimer()
+	var st core.Stats
+	for i := 0; i < b.N; i++ {
+		s := core.NewSharded(cfg, serveBenchShards)
+		p := s.NewProducer()
+		reqs := t.Reqs
+		for off := 0; off < len(reqs); off += core.DefaultAccessBatch {
+			end := off + core.DefaultAccessBatch
+			if end > len(reqs) {
+				end = len(reqs)
+			}
+			p.AccessBatch(reqs[off:end], hits)
+		}
+		p.Close()
+		st = s.Stats()
+		s.Close()
+	}
+	b.ReportMetric(float64(t.Len())*float64(b.N)/b.Elapsed().Seconds(), "reqs/s")
+	b.ReportMetric(100*st.HitRatio(), "hit-%")
+}
+
+// BenchmarkServeClientsOwner is BenchmarkServeClients on the single-owner
+// engine: one goroutine per client, each with its own producer handle
+// batching into the shard owners.
+func BenchmarkServeClientsOwner(b *testing.B) {
+	t := serveBenchTrace(b)
+	cfg := serveBenchConfig()
+	cfg.Engine = core.EngineOwner
+	b.ResetTimer()
+	var res sim.Result
+	for i := 0; i < b.N; i++ {
+		s := core.NewSharded(cfg, serveBenchShards)
+		res = engine.ServeClients(s, t)
+		s.Close()
+	}
+	reportServeMetrics(b, t, res)
+}
+
+// BenchmarkServeLoopbackOwner is BenchmarkServeLoopback with the server's
+// front on the single-owner engine: the full wire path — decode into reused
+// buffers, remap, frame fan-out to the shard owners, encode from reused
+// buffers — with no steady-state allocation.
+func BenchmarkServeLoopbackOwner(b *testing.B) {
+	t := serveBenchTrace(b)
+	cfg := serveBenchConfig()
+	cfg.Engine = core.EngineOwner
+	b.ResetTimer()
+	var res sim.Result
+	for i := 0; i < b.N; i++ {
+		srv := server.New(server.Config{Cache: cfg, Shards: serveBenchShards})
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		r, err := netclient.Replay(srv.Addr().String(), t, netclient.ReplayOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+		if err := srv.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportServeMetrics(b, t, res)
+}

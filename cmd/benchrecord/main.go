@@ -1,0 +1,187 @@
+// Command benchrecord runs the core cache benchmarks and records the
+// results as JSON, so the performance trajectory of the repository is
+// visible per commit instead of living only in scrollback.
+//
+// It shells out to `go test -run ^$ -bench <pattern> -benchmem`, parses
+// the standard benchmark output format, and writes one JSON document with
+// ns/op, allocs/op, B/op and every custom metric the benchmarks report
+// (reqs/s, hit_%). The committed snapshot lives at BENCH_core.json; CI
+// regenerates it with a short -benchtime as a smoke check and uploads the
+// result as an artifact.
+//
+// Usage:
+//
+//	go run ./cmd/benchrecord [-bench regexp] [-benchtime 1s] [-o BENCH_core.json]
+//	go run ./cmd/benchrecord -check BENCH_core.json   # assert nonzero reqs/s
+//
+// With -check, no benchmarks run: the named file is loaded and benchrecord
+// exits nonzero unless every recorded engine benchmark shows nonzero
+// throughput — the CI assertion that both engine modes actually moved
+// requests.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark's measurements. Metrics not reported by the
+// benchmark are zero.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	ReqsPerSec float64 `json:"reqs_per_s,omitempty"`
+	HitPercent float64 `json:"hit_pct,omitempty"`
+	BytesPerOp float64 `json:"bytes_per_op"`
+	AllocsOp   float64 `json:"allocs_per_op"`
+}
+
+// Record is the document written to BENCH_core.json.
+type Record struct {
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchtime  string   `json:"benchtime"`
+	RecordedAt string   `json:"recorded_at"`
+	Results    []Result `json:"results"`
+}
+
+func main() {
+	bench := flag.String("bench", "Sharded|ServeClients|ServeLoopback",
+		"benchmark name regexp passed to go test -bench")
+	benchtime := flag.String("benchtime", "1s", "passed to go test -benchtime")
+	out := flag.String("o", "BENCH_core.json", "output file")
+	check := flag.String("check", "", "check an existing record for nonzero throughput instead of benchmarking")
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkRecord(*check); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrecord:", err)
+			os.Exit(1)
+		}
+		fmt.Println("benchrecord: all engine benchmarks show nonzero throughput")
+		return
+	}
+
+	rec, err := run(*bench, *benchtime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrecord:", err)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchrecord:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrecord:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("benchrecord: wrote %d results to %s\n", len(rec.Results), *out)
+}
+
+// run executes the benchmarks and parses their output.
+func run(bench, benchtime string) (*Record, error) {
+	cmd := exec.Command("go", "test", "-run", "^$", "-bench", bench,
+		"-benchmem", "-benchtime", benchtime, ".")
+	cmd.Stderr = os.Stderr
+	outBytes, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go test -bench: %w\n%s", err, outBytes)
+	}
+	rec := &Record{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  benchtime,
+		RecordedAt: time.Now().UTC().Format(time.RFC3339),
+	}
+	for _, line := range strings.Split(string(outBytes), "\n") {
+		if r, ok := parseLine(line); ok {
+			rec.Results = append(rec.Results, r)
+		}
+	}
+	if len(rec.Results) == 0 {
+		return nil, fmt.Errorf("no benchmark results matched %q", bench)
+	}
+	sort.Slice(rec.Results, func(i, j int) bool { return rec.Results[i].Name < rec.Results[j].Name })
+	return rec, nil
+}
+
+// parseLine parses one line of standard `go test -bench` output:
+//
+//	BenchmarkName-4   12   98765432 ns/op   3.2e+06 reqs/s   52.1 hit_%   0 B/op   0 allocs/op
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		name = name[:i] // strip the -GOMAXPROCS suffix
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "reqs/s":
+			r.ReqsPerSec = v
+		case "hit_%":
+			r.HitPercent = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsOp = v
+		}
+	}
+	return r, true
+}
+
+// checkRecord loads a record and verifies every benchmark that reports a
+// reqs/s metric recorded nonzero throughput, and that both engine modes
+// (mutex-based BenchmarkShardedPartitioned and owner-based
+// BenchmarkShardedSingleOwner) are present.
+func checkRecord(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var rec Record
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	seen := map[string]bool{}
+	for _, r := range rec.Results {
+		seen[r.Name] = true
+		if strings.Contains(r.Name, "Sharded") && r.ReqsPerSec <= 0 {
+			return fmt.Errorf("%s recorded %v reqs/s, want > 0", r.Name, r.ReqsPerSec)
+		}
+	}
+	for _, want := range []string{"BenchmarkShardedPartitioned", "BenchmarkShardedSingleOwner"} {
+		if !seen[want] {
+			return fmt.Errorf("record is missing %s (both engine modes must be measured)", want)
+		}
+	}
+	return nil
+}

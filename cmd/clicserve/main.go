@@ -12,13 +12,17 @@
 // -stats selects where the sharded front learns its hint statistics:
 // "partitioned" (each shard privately, over a W/N window — the default) or
 // "global" (all shards feed one shared lock-striped learner over the full
-// window W, so the priority model is cache-wide). The admin /stats JSON
-// reports the mode in effect.
+// window W, so the priority model is cache-wide). -engine selects the
+// front's concurrency architecture: "mutex" (a lock per shard — the
+// default) or "owner" (one goroutine owning each shard, fed request frames
+// by the connection handlers). The admin /stats JSON reports both modes.
 //
 // With -admin set, live statistics (hits, misses, outqueue depth, the
 // current window's per-hint-set statistics) are served as JSON at
-// http://<admin>/stats. On SIGINT/SIGTERM the server drains and prints a
-// final accounting table.
+// http://<admin>/stats, and the standard pprof handlers are mounted under
+// http://<admin>/debug/pprof/. -cpuprofile/-memprofile write file profiles
+// covering the serving run (finished at graceful shutdown). On
+// SIGINT/SIGTERM the server drains and prints a final accounting table.
 //
 // Replay a trace against it with clicsim -connect (see cmd/clicsim), or
 // drive it from your own client via internal/netclient.
@@ -32,6 +36,7 @@ import (
 	"syscall"
 
 	"repro/internal/core"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -39,18 +44,29 @@ import (
 
 func main() {
 	var (
-		addr   = flag.String("addr", ":7070", "page-request listen address")
-		admin  = flag.String("admin", "", "admin HTTP listen address (empty = disabled)")
-		cache  = flag.Int("cache", 18000, "server cache size in pages")
-		shards = flag.Int("shards", 8, "CLIC shard count")
-		topk   = flag.Int("topk", 0, "CLIC: track only the k most frequent hint sets (0 = all)")
-		window = flag.Int("window", 0, "CLIC: statistics window W (0 = default)")
-		decay  = flag.Float64("r", 0, "CLIC: decay parameter r (0 = default 1.0)")
-		noutq  = flag.Int("noutq", 0, "CLIC: outqueue entries (0 = 5 per cache page)")
-		stats  = flag.String("stats", "partitioned", "statistics learning mode across shards (partitioned|global)")
+		addr       = flag.String("addr", ":7070", "page-request listen address")
+		admin      = flag.String("admin", "", "admin HTTP listen address (empty = disabled)")
+		cache      = flag.Int("cache", 18000, "server cache size in pages")
+		shards     = flag.Int("shards", 8, "CLIC shard count")
+		topk       = flag.Int("topk", 0, "CLIC: track only the k most frequent hint sets (0 = all)")
+		window     = flag.Int("window", 0, "CLIC: statistics window W (0 = default)")
+		decay      = flag.Float64("r", 0, "CLIC: decay parameter r (0 = default 1.0)")
+		noutq      = flag.Int("noutq", 0, "CLIC: outqueue entries (0 = 5 per cache page)")
+		stats      = flag.String("stats", "partitioned", "statistics learning mode across shards (partitioned|global)")
+		engineFlag = flag.String("engine", "mutex", "shard concurrency engine (mutex|owner)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at shutdown)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at shutdown")
 	)
 	flag.Parse()
 	statsMode, err := core.ParseStatsMode(*stats)
+	if err != nil {
+		fatal(err)
+	}
+	engineMode, err := core.ParseEngineMode(*engineFlag)
+	if err != nil {
+		fatal(err)
+	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
 		fatal(err)
 	}
@@ -59,7 +75,7 @@ func main() {
 	// every simulated CLIC run, so server hit ratios compare directly to
 	// the in-process grid at the same -cache value.
 	srv := server.New(server.Config{
-		Cache:  core.Config{Capacity: sim.ClicCapacity(*cache), TopK: *topk, Window: *window, R: *decay, Noutq: *noutq, Stats: statsMode},
+		Cache:  core.Config{Capacity: sim.ClicCapacity(*cache), TopK: *topk, Window: *window, R: *decay, Noutq: *noutq, Stats: statsMode, Engine: engineMode},
 		Shards: *shards,
 	})
 	if err := srv.Listen(*addr); err != nil {
@@ -88,6 +104,9 @@ func main() {
 		if err := srv.Close(); err != nil {
 			fatal(err)
 		}
+	}
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(os.Stderr, "clicserve: profile:", err)
 	}
 
 	snap := srv.Snapshot(10)

@@ -15,7 +15,13 @@
 // it with one goroutine per trace client instead of replaying serially, and
 // -stats selects where the front learns its hint statistics: "partitioned"
 // (per shard, W/N windows — the default) or "global" (one shared
-// lock-striped learner over the full window W).
+// lock-striped learner over the full window W). -engine picks the front's
+// concurrency architecture: "mutex" (a lock per shard — the default) or
+// "owner" (one goroutine owning each shard, fed request batches; requires
+// -concurrent or -serve since it is a batch architecture).
+//
+// -cpuprofile and -memprofile write the standard pprof profiles covering
+// the run.
 //
 // The simulator also speaks the network protocol (internal/wire):
 //
@@ -41,6 +47,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/netclient"
 	"repro/internal/policy"
+	"repro/internal/prof"
 	"repro/internal/report"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -61,19 +68,35 @@ func main() {
 		shards     = flag.Int("shards", 1, "CLIC: run behind a sharded concurrent front (>1 enables)")
 		stats      = flag.String("stats", "partitioned", "CLIC sharded front: statistics learning mode (partitioned|global)")
 		concurrent = flag.Bool("concurrent", false, "drive the sharded CLIC front with one goroutine per client (requires -shards > 1)")
+		engineFlag = flag.String("engine", "mutex", "CLIC sharded front: concurrency engine (mutex|owner)")
 		serveAddr  = flag.String("serve", "", "run as a network cache server on this address instead of simulating")
 		connect    = flag.String("connect", "", "replay the trace against a cache server at this address")
 		batch      = flag.Int("batch", 0, "-connect: requests per wire frame (0 = default)")
 		limit      = flag.Int("limit", 0, "-connect: replay at most this many requests (0 = all)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 	statsMode, err := core.ParseStatsMode(*stats)
 	if err != nil {
 		fatal(err)
 	}
+	engineMode, err := core.ParseEngineMode(*engineFlag)
+	if err != nil {
+		fatal(err)
+	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "clicsim: profile:", err)
+		}
+	}()
 	if *serveAddr != "" {
 		serve(*serveAddr, *shards, sizesOrDie(*caches),
-			core.Config{TopK: *topk, Window: *window, R: *decay, Noutq: *noutq, Stats: statsMode})
+			core.Config{TopK: *topk, Window: *window, R: *decay, Noutq: *noutq, Stats: statsMode, Engine: engineMode})
 		return
 	}
 	if *tracePath == "" {
@@ -87,12 +110,18 @@ func main() {
 	if *concurrent && *shards < 2 {
 		fatal(fmt.Errorf("-concurrent requires -shards > 1 (a plain cache is not safe for concurrent use)"))
 	}
+	if engineMode == core.EngineOwner && !*concurrent {
+		// A serial replay through the owner engine pays a frame round trip
+		// per request — that measures nothing useful; the batch drivers
+		// (-concurrent, -serve, the network server) are the owner paths.
+		fatal(fmt.Errorf("-engine owner requires -concurrent (or -serve); serial replay uses the mutex engine"))
+	}
 	t, err := trace.Load(*tracePath)
 	if err != nil {
 		fatal(err)
 	}
 	sizes := sizesOrDie(*caches)
-	clicCfg := core.Config{TopK: *topk, Window: *window, R: *decay, Noutq: *noutq, Stats: statsMode}
+	clicCfg := core.Config{TopK: *topk, Window: *window, R: *decay, Noutq: *noutq, Stats: statsMode, Engine: engineMode}
 
 	// Build the policy × size grid as engine jobs, each with its own row
 	// metadata so results and labels cannot drift apart.
@@ -143,7 +172,11 @@ func main() {
 		// clients at once; the cells themselves still run in sequence so
 		// each front gets the full core budget.
 		for _, j := range jobs {
-			results = append(results, engine.ServeClients(j.New(), t))
+			p := j.New()
+			results = append(results, engine.ServeClients(p, t))
+			if s, ok := p.(*core.Sharded); ok {
+				s.Close()
+			}
 		}
 	} else {
 		results = engine.Run(jobs, engine.Options{Workers: *workers})

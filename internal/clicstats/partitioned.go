@@ -11,6 +11,12 @@ import (
 // partitioned-learning mode gives each shard its own Partitioned learner
 // over a scaled W/N window, so each shard learns only from its own request
 // subsequence.
+//
+// The learner's whole steady state is allocation-free: exact-mode window
+// statistics live in a flat table indexed by hint ID (IDs are interned
+// densely) with a touched-list so rotation visits only the hint sets seen
+// this window, the top-k summary recycles its counters and buckets, and
+// the window-boundary blend reuses one scratch estimates map.
 type Partitioned struct {
 	cfg Config
 
@@ -18,10 +24,16 @@ type Partitioned struct {
 	// computed at the last window boundary (Equation 3).
 	pr map[hint.ID]float64
 
-	// Exact per-window statistics (TopK == 0).
-	stats map[hint.ID]*winStats
+	// Exact per-window statistics (TopK == 0): stats is indexed by hint
+	// ID, touched lists the IDs with nonzero statistics this window.
+	stats   []winStats
+	touched []hint.ID
 	// Bounded per-window statistics (TopK > 0, §5).
 	topk *spacesaving.Summary[hint.ID, rerefAux]
+
+	// fresh is the scratch estimates map handed to blend at each window
+	// boundary, cleared (not reallocated) after use.
+	fresh map[hint.ID]float64
 
 	sinceRotate int
 	windows     int
@@ -33,13 +45,29 @@ var _ Learner = (*Partitioned)(nil)
 // NewPartitioned returns a single-owner learner for the configuration.
 func NewPartitioned(cfg Config) *Partitioned {
 	cfg.validate()
-	p := &Partitioned{cfg: cfg, pr: make(map[hint.ID]float64)}
+	p := &Partitioned{
+		cfg:   cfg,
+		pr:    make(map[hint.ID]float64),
+		fresh: make(map[hint.ID]float64),
+	}
 	if cfg.TopK > 0 {
 		p.topk = spacesaving.New[hint.ID, rerefAux](cfg.TopK)
-	} else {
-		p.stats = make(map[hint.ID]*winStats)
 	}
 	return p
+}
+
+// stat returns the window statistics slot for a hint set, growing the flat
+// table when a new ID appears (vocabulary growth only — not steady state)
+// and recording first touches of the window.
+func (p *Partitioned) stat(h hint.ID) *winStats {
+	for int(h) >= len(p.stats) {
+		p.stats = append(p.stats, winStats{})
+	}
+	st := &p.stats[h]
+	if st.n == 0 && st.nr == 0 {
+		p.touched = append(p.touched, h)
+	}
+	return st
 }
 
 // Arrive implements Learner.
@@ -48,12 +76,7 @@ func (p *Partitioned) Arrive(h hint.ID) {
 		p.topk.Touch(h)
 		return
 	}
-	st, ok := p.stats[h]
-	if !ok {
-		st = &winStats{}
-		p.stats[h] = st
-	}
-	st.n++
+	p.stat(h).n++
 }
 
 // Reref implements Learner.
@@ -65,14 +88,10 @@ func (p *Partitioned) Reref(h hint.ID, dist uint64) {
 		}
 		return
 	}
-	st, ok := p.stats[h]
-	if !ok {
-		// The prior request that established the record may have arrived in
-		// an earlier window; stats were cleared since. Start a fresh entry
-		// so the re-reference still informs this window's priorities.
-		st = &winStats{}
-		p.stats[h] = st
-	}
+	// The prior request that established the record may have arrived in an
+	// earlier window; stats were cleared since. stat starts a fresh entry
+	// so the re-reference still informs this window's priorities.
+	st := p.stat(h)
 	st.nr++
 	st.dsum += float64(dist)
 }
@@ -84,11 +103,16 @@ func (p *Partitioned) EndRequest() bool {
 	if p.sinceRotate < p.cfg.Window {
 		return false
 	}
-	blend(p.pr, p.windowEstimates(), p.cfg.R)
+	p.fillEstimates()
+	blend(p.pr, p.fresh, p.cfg.R)
+	clear(p.fresh)
 	if p.topk != nil {
 		p.topk.Reset()
 	} else {
-		p.stats = make(map[hint.ID]*winStats, len(p.stats))
+		for _, h := range p.touched {
+			p.stats[h] = winStats{}
+		}
+		p.touched = p.touched[:0]
 	}
 	p.sinceRotate = 0
 	p.windows++
@@ -96,22 +120,20 @@ func (p *Partitioned) EndRequest() bool {
 	return true
 }
 
-// windowEstimates returns p̂r for every hint set with statistics in the
-// current window.
-func (p *Partitioned) windowEstimates() map[hint.ID]float64 {
+// fillEstimates computes p̂r for every hint set with statistics in the
+// current window into the scratch map.
+func (p *Partitioned) fillEstimates() {
 	if p.topk != nil {
-		out := make(map[hint.ID]float64, p.topk.Len())
-		for _, ctr := range p.topk.Counters() {
+		p.topk.Range(func(ctr *spacesaving.Counter[hint.ID, rerefAux]) {
 			// §5: N(H) is the frequency estimate minus the error bound.
-			out[ctr.Key] = windowPriority(ctr.Count-ctr.Err, ctr.Val.nr, ctr.Val.dsum)
-		}
-		return out
+			p.fresh[ctr.Key] = windowPriority(ctr.Count-ctr.Err, ctr.Val.nr, ctr.Val.dsum)
+		})
+		return
 	}
-	out := make(map[hint.ID]float64, len(p.stats))
-	for h, st := range p.stats {
-		out[h] = windowPriority(st.n, st.nr, st.dsum)
+	for _, h := range p.touched {
+		st := &p.stats[h]
+		p.fresh[h] = windowPriority(st.n, st.nr, st.dsum)
 	}
-	return out
 }
 
 // Priority implements Learner.
@@ -140,7 +162,8 @@ func (p *Partitioned) WindowStats() []HintStat {
 			out = append(out, newHintStat(ctr.Key, ctr.Count-ctr.Err, ctr.Val.nr, ctr.Val.dsum))
 		}
 	} else {
-		for h, st := range p.stats {
+		for _, h := range p.touched {
+			st := &p.stats[h]
 			out = append(out, newHintStat(h, st.n, st.nr, st.dsum))
 		}
 	}
@@ -153,5 +176,5 @@ func (p *Partitioned) TrackedHintSets() int {
 	if p.topk != nil {
 		return p.topk.Len()
 	}
-	return len(p.stats)
+	return len(p.touched)
 }

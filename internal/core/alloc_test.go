@@ -1,0 +1,53 @@
+package core
+
+import "testing"
+
+// TestAccessSteadyStateAllocs pins the zero-allocation contract of the
+// request path: after the cache has filled its capacity, outqueue and
+// statistics structures (all recycled through freelists), processing a
+// request allocates nothing — including across window rotations and
+// Space-Saving counter churn (TopK set).
+func TestAccessSteadyStateAllocs(t *testing.T) {
+	c := New(Config{Capacity: 512, Window: 2000, TopK: 64})
+	reqs := shardedTrace(200000, 99)
+	for _, r := range reqs {
+		c.Access(r)
+	}
+	i := 0
+	if avg := testing.AllocsPerRun(20000, func() {
+		c.Access(reqs[i%len(reqs)])
+		i++
+	}); avg != 0 {
+		t.Errorf("steady-state Access allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// TestAccessBatchSteadyStateAllocs is the same contract for the owner
+// engine's batch path: a warm producer running DefaultAccessBatch-sized
+// batches through the shard owners — routing pass, frame hand-off,
+// doorbells, scatter — allocates nothing per batch.
+func TestAccessBatchSteadyStateAllocs(t *testing.T) {
+	s := NewSharded(Config{Capacity: 512, Window: 2000, TopK: 64, Engine: EngineOwner}, 4)
+	defer s.Close()
+	p := s.NewProducer()
+	defer p.Close()
+	reqs := shardedTrace(200000, 99)
+	hits := make([]bool, DefaultAccessBatch)
+	batch := func(off int) {
+		end := off + DefaultAccessBatch
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		p.AccessBatch(reqs[off:end], hits)
+	}
+	for off := 0; off < len(reqs); off += DefaultAccessBatch {
+		batch(off)
+	}
+	off := 0
+	if avg := testing.AllocsPerRun(200, func() {
+		batch(off)
+		off = (off + DefaultAccessBatch) % (len(reqs) - DefaultAccessBatch)
+	}); avg != 0 {
+		t.Errorf("steady-state AccessBatch allocates %v allocs per batch, want 0", avg)
+	}
+}

@@ -27,6 +27,18 @@
 // how a sharded front learns: a private per-shard learner over a scaled
 // window (StatsPartitioned, the default) or one shared lock-striped
 // learner fed by all shards (StatsGlobal).
+//
+// Config.Engine selects how a Sharded front is driven. EngineMutex (the
+// default) guards each shard with a sync.Mutex and serves any goroutine
+// directly. EngineOwner gives each shard a dedicated owner goroutine —
+// the only code that ever touches that shard's cache — fed by per-producer
+// SPSC frame rings (see owner.go); callers obtain a Producer via
+// Sharded.NewProducer and submit batches with AccessBatch. The engines
+// are behaviorally bit-identical per producer stream; the owner engine
+// trades the universal call-from-anywhere API for a lock-free request
+// path. Both engines keep the steady-state request path allocation-free:
+// page/outqueue entries, victim groups, Space-Saving counters and window
+// statistics are all recycled through freelists.
 package core
 
 import (
@@ -106,6 +118,11 @@ type Config struct {
 	// Stripes is the lock-stripe count of a global learner; 0 selects
 	// clicstats.DefaultStripes. Ignored in partitioned mode.
 	Stripes int
+	// Engine selects the concurrency architecture of a Sharded front built
+	// from this configuration: mutex-per-shard (default) or single-owner
+	// shard goroutines fed by SPSC frame rings; see EngineMode. A plain
+	// Cache ignores it.
+	Engine EngineMode
 }
 
 // DefaultWindow is the statistics window used when Config.Window is zero.
@@ -153,8 +170,14 @@ type Cache struct {
 	groups map[hint.ID]*group
 	heap   groupHeap
 
-	// Outqueue of recently seen, uncached pages (§3.1).
+	// Outqueue of recently seen, uncached pages (§3.1). Its entry freelist
+	// is shared with the cached-page entries: pages migrate between the two
+	// structures on every admit/evict, so one pool serves both.
 	out outqueue
+
+	// freeGroups recycles empty hint-set groups; groups churn whenever a
+	// hint set's last page leaves the cache.
+	freeGroups []*group
 }
 
 var _ policy.Policy = (*Cache)(nil)
@@ -214,25 +237,34 @@ func (c *Cache) Access(r trace.Request) bool {
 	s := c.seq
 	c.seq++
 
+	// One lookup in each table serves both the statistics and the placement
+	// decision below: e is the page's cached record, oe its outqueue record
+	// (at most one of the two exists).
+	e, cached := c.pages[r.Page]
+	var oe *pageEntry
+	if !cached {
+		oe, _ = c.out.get(r.Page)
+	}
+
 	// Statistics: count the arrival, and detect a read re-reference using
 	// the most-recent-request record held in the cache or the outqueue.
 	c.learner.Arrive(r.Hint)
 	if r.Op == trace.Read {
-		if e, ok := c.pages[r.Page]; ok {
+		if cached {
 			c.learner.Reref(e.hint, s-e.seq)
-		} else if e, ok := c.out.get(r.Page); ok {
-			c.learner.Reref(e.hint, s-e.seq)
+		} else if oe != nil {
+			c.learner.Reref(oe.hint, s-oe.seq)
 		}
 	}
 
 	hit := false
-	if e, ok := c.pages[r.Page]; ok {
+	if cached {
 		// Figure 4 lines 23–25: refresh the record; the most recent
 		// request determines the page's priority from now on.
 		hit = r.Op == trace.Read
 		c.rehint(e, s, r.Hint)
 	} else {
-		c.admit(r.Page, s, r.Hint)
+		c.admit(r.Page, s, r.Hint, oe)
 	}
 
 	if c.learner.EndRequest() {
@@ -256,10 +288,11 @@ func (c *Cache) syncPriorities() {
 	heap.Init(&c.heap)
 }
 
-// admit handles a request for an uncached page (Figure 4 lines 1–22).
-func (c *Cache) admit(page, s uint64, h hint.ID) {
+// admit handles a request for an uncached page (Figure 4 lines 1–22). oe is
+// the page's outqueue record if it has one (already looked up by Access).
+func (c *Cache) admit(page, s uint64, h hint.ID, oe *pageEntry) {
 	if len(c.pages) < c.cfg.Capacity {
-		c.insert(page, s, h)
+		c.insert(page, s, h, oe)
 		return
 	}
 	if c.cfg.Capacity > 0 && len(c.heap) > 0 {
@@ -268,25 +301,42 @@ func (c *Cache) admit(page, s uint64, h hint.ID) {
 			v := top.head // minimum seq within the minimum-priority group
 			c.removeFromGroup(v)
 			delete(c.pages, v.page)
-			c.out.put(v.page, v.seq, v.hint)
-			c.insert(page, s, h)
+			// The victim's record enters the outqueue before the new page's
+			// stale record leaves (the order the original per-step code
+			// implied): if the outqueue is full, the entry displaced can be
+			// oe itself, in which case the incoming page no longer has a
+			// record to drop.
+			if c.out.putEntry(v) == oe {
+				oe = nil
+			}
+			c.insert(page, s, h, oe)
 			return
 		}
 	}
 	// Do not cache: record the request in the outqueue (lines 19–22).
-	c.out.put(page, s, h)
+	if oe != nil {
+		c.out.refresh(oe, s, h)
+	} else {
+		c.out.putNew(page, s, h)
+	}
 }
 
-// insert caches a page with the given record.
-func (c *Cache) insert(page, s uint64, h hint.ID) {
+// insert caches a page with the given record. oe is the page's outqueue
+// record if it still has one; the cache now holds the authoritative record,
+// so the stale one is dropped.
+func (c *Cache) insert(page, s uint64, h hint.ID, oe *pageEntry) {
 	if c.cfg.Capacity == 0 {
-		c.out.put(page, s, h)
+		if oe != nil {
+			c.out.refresh(oe, s, h)
+		} else {
+			c.out.putNew(page, s, h)
+		}
 		return
 	}
-	// If the page was in the outqueue, its stale record must go: the cache
-	// now holds the authoritative record.
-	c.out.drop(page)
-	e := &pageEntry{page: page, seq: s, hint: h}
+	if oe != nil {
+		c.out.dropEntry(oe)
+	}
+	e := c.out.takeFree(page, s, h)
 	c.pages[page] = e
 	c.appendToGroup(e, h)
 }

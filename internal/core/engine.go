@@ -1,0 +1,49 @@
+package core
+
+import "fmt"
+
+// EngineMode selects the concurrency architecture of a Sharded front's
+// request path.
+type EngineMode int
+
+const (
+	// EngineMutex guards every shard with its own sync.Mutex: callers run
+	// the cache code themselves under the shard lock. This is the historical
+	// architecture and the default. Requests for different shards proceed in
+	// parallel; requests for one shard serialize on its lock, and every
+	// access pays the lock plus the per-shard atomic snapshot counters.
+	EngineMutex EngineMode = iota
+	// EngineOwner gives each shard a single goroutine that owns its cache
+	// exclusively. Producers (one per client goroutine or connection) post
+	// pooled request frames into per-producer SPSC rings and the shard
+	// owners drain them, so the cache code itself runs with no lock and no
+	// per-request atomics — synchronization happens once per frame, not once
+	// per request. Sharded fronts in this mode must be Closed when done and
+	// are driven through Producer handles (Access still works, via an
+	// internal fallback producer, but pays a round trip per request).
+	EngineOwner
+)
+
+// String returns the flag spelling of the mode.
+func (m EngineMode) String() string {
+	switch m {
+	case EngineMutex:
+		return "mutex"
+	case EngineOwner:
+		return "owner"
+	default:
+		return fmt.Sprintf("EngineMode(%d)", int(m))
+	}
+}
+
+// ParseEngineMode parses the flag spelling of an engine mode.
+func ParseEngineMode(s string) (EngineMode, error) {
+	switch s {
+	case "mutex", "":
+		return EngineMutex, nil
+	case "owner", "single-owner":
+		return EngineOwner, nil
+	default:
+		return 0, fmt.Errorf("core: unknown engine mode %q (want mutex or owner)", s)
+	}
+}

@@ -1,0 +1,314 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/trace"
+)
+
+// This file is the single-owner shard engine (EngineOwner): each shard's
+// cache is owned exclusively by one goroutine, and producers feed it
+// batches of requests through per-producer SPSC rings. The cache code runs
+// with no lock and no per-request atomics; synchronization costs are paid
+// once per frame (a sub-batch routed to one shard), not once per request.
+//
+// Wakeup protocol. A shard owner sleeps on its doorbell channel, which
+// carries ring pointers. A producer pushes a frame into its ring (publishing
+// it with a sequentially consistent tail store) and then rings the doorbell
+// only when the pre-push tail equals the consumer's head — the ring was
+// drained up to this frame, so the owner either is asleep or is about to
+// observe emptiness and sleep. Sequential consistency of the tail store /
+// head load pair rules out the classic missed wakeup: if the owner's final
+// emptiness check preceded the push, the producer's head load sees the
+// drained head and rings; if it followed, the owner saw the new tail and
+// drains. Multiple doorbells for one ring are harmless (draining is
+// idempotent).
+
+// ownerRingSize is the frame capacity of one producer→shard ring. A
+// synchronous producer has at most one frame in flight per shard, so the
+// ring never fills in the AccessBatch path; the slack absorbs control
+// frames and any future pipelined producers.
+const ownerRingSize = 8
+
+// DefaultAccessBatch is the request count per AccessBatch call used by
+// drivers that do not choose their own batching. It matches the wire
+// protocol's default frame size, so the network and in-process batch paths
+// exercise identical sub-batch shapes.
+const DefaultAccessBatch = 512
+
+// frame is one sub-batch of requests routed to a single shard, plus the
+// scatter information to write results back into the producer's batch.
+// Frames are owned by their producer and reused batch after batch — the
+// steady-state request path allocates nothing.
+type frame struct {
+	reqs []trace.Request // requests for this shard, in producer order
+	idx  []int32         // position of each request in the producer's batch
+	hits []bool          // producer's whole-batch results (scatter target)
+	wg   *sync.WaitGroup // batch completion; Done once per frame
+
+	// ctl, when non-nil, makes this a control frame: the owner runs fn with
+	// exclusive access to its cache instead of processing requests.
+	ctl func(c *Cache)
+}
+
+// spscRing is a single-producer single-consumer ring of frames. The slot
+// array is plain memory; the atomic head/tail stores publish it (they are
+// the synchronization edges the race detector and the memory model see).
+type spscRing struct {
+	slots [ownerRingSize]*frame
+	head  atomic.Uint64 // next slot the consumer reads
+	tail  atomic.Uint64 // next slot the producer writes
+}
+
+// push publishes one frame; it reports whether the ring had room and
+// whether the doorbell must ring (the ring was drained up to this frame).
+func (r *spscRing) push(f *frame) (ok, ring bool) {
+	t := r.tail.Load()
+	if t-r.head.Load() >= ownerRingSize {
+		return false, false
+	}
+	r.slots[t%ownerRingSize] = f
+	r.tail.Store(t + 1)
+	return true, r.head.Load() == t
+}
+
+// pop takes the next frame, or nil when the ring is empty.
+func (r *spscRing) pop() *frame {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return nil
+	}
+	f := r.slots[h%ownerRingSize]
+	r.slots[h%ownerRingSize] = nil
+	r.head.Store(h + 1)
+	return f
+}
+
+// ownerLoop is one shard's owner goroutine: drain whichever producer rings
+// ring the doorbell, until Close.
+func (s *Sharded) ownerLoop(i int) {
+	defer s.ownerWg.Done()
+	sh := &s.shards[i]
+	for {
+		select {
+		case r := <-sh.bell:
+			for f := r.pop(); f != nil; f = r.pop() {
+				s.processFrame(sh, f)
+			}
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// processFrame runs one frame against the shard's cache: no lock, no
+// per-request atomics — the snapshot counters are flushed once at the end.
+func (s *Sharded) processFrame(sh *shardedShard, f *frame) {
+	if f.ctl != nil {
+		f.ctl(sh.c)
+		f.wg.Done()
+		return
+	}
+	var reads, readHits, writes uint64
+	c := sh.c
+	for j := range f.reqs {
+		rq := &f.reqs[j]
+		hit := c.Access(*rq)
+		f.hits[f.idx[j]] = hit
+		if rq.Op == trace.Read {
+			reads++
+			if hit {
+				readHits++
+			}
+		} else {
+			writes++
+		}
+	}
+	sh.len.Store(int64(c.Len()))
+	sh.outq.Store(int64(c.OutqueueLen()))
+	if s.global == nil {
+		sh.windows.Store(int64(c.Windows()))
+	}
+	sh.reads.Add(reads)
+	sh.readHits.Add(readHits)
+	sh.writes.Add(writes)
+	f.wg.Done()
+}
+
+// Producer is one client's handle onto a Sharded front: it routes request
+// batches to the shards and gathers the per-request hit results. Handles
+// are not safe for concurrent use — give each goroutine its own — but any
+// number of handles may drive the same front concurrently.
+//
+// In owner mode the handle carries the per-shard SPSC rings and reusable
+// frames; in mutex mode AccessBatch simply loops Access, so callers can be
+// written against Producer regardless of the front's engine.
+type Producer struct {
+	s      *Sharded
+	frames []*frame
+	rings  []*spscRing
+	wg     sync.WaitGroup
+}
+
+// NewProducer returns a producer handle for this front. Producers are
+// cheap enough to create per connection; Close is a no-op but keeps call
+// sites honest about lifetime.
+func (s *Sharded) NewProducer() *Producer {
+	p := &Producer{s: s}
+	if s.engine == EngineOwner {
+		p.frames = make([]*frame, len(s.shards))
+		p.rings = make([]*spscRing, len(s.shards))
+		for i := range p.frames {
+			p.frames[i] = &frame{wg: &p.wg}
+			p.rings[i] = &spscRing{}
+		}
+	}
+	return p
+}
+
+// Close releases the handle. The front itself is closed with Sharded.Close.
+func (p *Producer) Close() {}
+
+// post pushes a frame into the producer's ring for one shard, ringing the
+// shard's doorbell per the wakeup protocol. The ring cannot be full in the
+// synchronous AccessBatch path; if a future caller pipelines frames, the
+// retry loop keeps the producer correct (the owner is draining).
+func (p *Producer) post(sh int, f *frame) {
+	r := p.rings[sh]
+	for {
+		ok, ring := r.push(f)
+		if ok {
+			if ring {
+				p.s.shards[sh].bell <- r
+			}
+			return
+		}
+		// Ring full: the owner has frames to chew through; make sure it is
+		// awake and yield.
+		select {
+		case p.s.shards[sh].bell <- r:
+		default:
+		}
+		runtime.Gosched()
+	}
+}
+
+// AccessBatch processes one batch of requests against the front and writes
+// each request's hit/miss into hits (which must be at least len(reqs)
+// long). Requests keep their relative order per shard; across shards they
+// proceed concurrently, exactly like independent clients in mutex mode —
+// and because a page's whole history lives on one shard, a single
+// producer's results are bit-identical to a serial mutex-mode replay in
+// partitioned-statistics mode.
+func (p *Producer) AccessBatch(reqs []trace.Request, hits []bool) {
+	if len(hits) < len(reqs) {
+		panic("core: AccessBatch hits slice shorter than reqs")
+	}
+	if p.s.engine != EngineOwner {
+		for i := range reqs {
+			hits[i] = p.s.Access(reqs[i])
+		}
+		return
+	}
+	if len(p.frames) == 1 {
+		// One shard: skip the routing pass, the whole batch is one frame.
+		f := p.frames[0]
+		f.reqs, f.hits = reqs, hits
+		f.idx = appendSeq(f.idx[:0], len(reqs))
+		p.wg.Add(1)
+		p.post(0, f)
+		p.wg.Wait()
+		f.reqs, f.hits = nil, nil
+		return
+	}
+	for i := range reqs {
+		f := p.frames[p.s.ShardFor(reqs[i].Page)]
+		f.reqs = append(f.reqs, reqs[i])
+		f.idx = append(f.idx, int32(i))
+	}
+	posted := 0
+	for _, f := range p.frames {
+		if len(f.reqs) > 0 {
+			f.hits = hits
+			posted++
+		}
+	}
+	p.wg.Add(posted)
+	for sh, f := range p.frames {
+		if len(f.reqs) > 0 {
+			p.post(sh, f)
+		}
+	}
+	p.wg.Wait()
+	for _, f := range p.frames {
+		f.reqs = f.reqs[:0]
+		f.idx = f.idx[:0]
+		f.hits = nil
+	}
+}
+
+// appendSeq appends 0..n-1 to dst.
+func appendSeq(dst []int32, n int) []int32 {
+	for i := 0; i < n; i++ {
+		dst = append(dst, int32(i))
+	}
+	return dst
+}
+
+// Close stops the shard owner goroutines of an owner-mode front. It must
+// be called after all producers are idle; the caches and their statistics
+// survive, so snapshots still read after Close. Mutex-mode fronts need no
+// Close (it is a no-op), and Close is idempotent.
+func (s *Sharded) Close() {
+	if s.engine != EngineOwner || !s.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.quit)
+	s.ownerWg.Wait()
+}
+
+// fallback returns the front's internal producer used to serve the
+// policy.Policy Access path and control ops in owner mode, serialized by
+// fbMu (Access must stay safe for concurrent use in every mode).
+func (s *Sharded) fallback() *Producer {
+	s.fbOnce.Do(func() { s.fbProd = s.NewProducer() })
+	return s.fbProd
+}
+
+// accessOwner is the single-request fallback in owner mode: a batch of one
+// through the internal producer. It pays a frame round trip per request —
+// drivers that care use Producer.AccessBatch.
+func (s *Sharded) accessOwner(r trace.Request) bool {
+	s.fbMu.Lock()
+	p := s.fallback()
+	s.fbReq[0] = r
+	p.AccessBatch(s.fbReq[:1], s.fbHits[:1])
+	hit := s.fbHits[0]
+	s.fbMu.Unlock()
+	return hit
+}
+
+// withCache runs fn with exclusive access to shard i's cache: under the
+// shard lock in mutex mode, on the owner goroutine via a control frame in
+// owner mode. Control-plane accessors (WindowStats) use it so they never
+// race the request path.
+func (s *Sharded) withCache(i int, fn func(c *Cache)) {
+	sh := &s.shards[i]
+	if s.engine != EngineOwner {
+		sh.mu.Lock()
+		fn(sh.c)
+		sh.mu.Unlock()
+		return
+	}
+	s.fbMu.Lock()
+	p := s.fallback()
+	f := p.frames[i]
+	f.ctl = fn
+	p.wg.Add(1)
+	p.post(i, f)
+	p.wg.Wait()
+	f.ctl = nil
+	s.fbMu.Unlock()
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// ownerPair builds one owner-engine and one mutex-engine front with the
+// same configuration.
+func ownerPair(cfg Config, shards int) (owner, mutex *Sharded) {
+	ocfg := cfg
+	ocfg.Engine = EngineOwner
+	return NewSharded(ocfg, shards), NewSharded(cfg, shards)
+}
+
+// TestOwnerMatchesMutexSerial is the engine-equivalence golden test: a
+// single producer replaying the trace in batches through the owner engine
+// must make bit-identical hit/miss decisions to a serial per-request replay
+// through the mutex engine. One producer keeps each shard's request
+// subsequence in trace order, and a page's whole history lives on one
+// shard, so partitioned-statistics results are deterministic.
+func TestOwnerMatchesMutexSerial(t *testing.T) {
+	const shards = 4
+	cfg := Config{Capacity: 64, Window: 500}
+	s, m := ownerPair(cfg, shards)
+	defer s.Close()
+
+	reqs := shardedTrace(20000, 42)
+	want := make([]bool, len(reqs))
+	for i, r := range reqs {
+		want[i] = m.Access(r)
+	}
+
+	p := s.NewProducer()
+	defer p.Close()
+	const batch = 512
+	hits := make([]bool, batch)
+	var gotHits, wantHits uint64
+	for off := 0; off < len(reqs); off += batch {
+		end := off + batch
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		p.AccessBatch(reqs[off:end], hits)
+		for i := off; i < end; i++ {
+			if hits[i-off] != want[i] {
+				t.Fatalf("request %d (page %d): owner hit=%v, mutex hit=%v", i, reqs[i].Page, hits[i-off], want[i])
+			}
+			if reqs[i].Op == trace.Read {
+				if hits[i-off] {
+					gotHits++
+				}
+				if want[i] {
+					wantHits++
+				}
+			}
+		}
+	}
+	if gotHits == 0 || gotHits != wantHits {
+		t.Fatalf("aggregate hits: owner %d, mutex %d", gotHits, wantHits)
+	}
+	if s.Len() != m.Len() || s.OutqueueLen() != m.OutqueueLen() || s.Windows() != m.Windows() {
+		t.Errorf("structural drift: Len %d/%d, Outqueue %d/%d, Windows %d/%d",
+			s.Len(), m.Len(), s.OutqueueLen(), m.OutqueueLen(), s.Windows(), m.Windows())
+	}
+	ss, ms := s.Stats(), m.Stats()
+	ms.Engine = ss.Engine // the one field allowed to differ
+	if ss != ms {
+		t.Errorf("Stats drift:\nowner %+v\nmutex %+v", ss, ms)
+	}
+	if ss.Engine != "owner" || ms.Learner != "partitioned" {
+		t.Errorf("modes reported as engine=%q learner=%q", ss.Engine, ms.Learner)
+	}
+
+	// The control-plane snapshot must agree too (and must not deadlock
+	// against the owner goroutines).
+	sw, mw := s.WindowStats(), m.WindowStats()
+	if len(sw) != len(mw) {
+		t.Fatalf("WindowStats lengths %d vs %d", len(sw), len(mw))
+	}
+	for i := range sw {
+		if sw[i] != mw[i] {
+			t.Errorf("WindowStats[%d]: %+v vs %+v", i, sw[i], mw[i])
+		}
+	}
+}
+
+// TestOwnerBatchSizeInvariance replays the same trace through one producer
+// at several batch sizes; partitioned-statistics results must not depend on
+// how the stream is chopped into frames.
+func TestOwnerBatchSizeInvariance(t *testing.T) {
+	cfg := Config{Capacity: 64, Window: 500, TopK: 8}
+	reqs := shardedTrace(20000, 7)
+	var base uint64
+	for _, batch := range []int{1, 7, 64, 512, len(reqs)} {
+		s := NewSharded(Config{Capacity: cfg.Capacity, Window: cfg.Window, TopK: cfg.TopK, Engine: EngineOwner}, 4)
+		p := s.NewProducer()
+		hits := make([]bool, batch)
+		var total uint64
+		for off := 0; off < len(reqs); off += batch {
+			end := off + batch
+			if end > len(reqs) {
+				end = len(reqs)
+			}
+			p.AccessBatch(reqs[off:end], hits)
+			for i := off; i < end; i++ {
+				if hits[i-off] && reqs[i].Op == trace.Read {
+					total++
+				}
+			}
+		}
+		p.Close()
+		s.Close()
+		if batch == 1 {
+			base = total
+			if base == 0 {
+				t.Fatal("no hits at batch size 1; test is vacuous")
+			}
+			continue
+		}
+		if total != base {
+			t.Errorf("batch %d: %d hits, batch 1 got %d", batch, total, base)
+		}
+	}
+}
+
+// TestOwnerAccessFallback drives an owner front through the policy.Policy
+// per-request path and checks it against the mutex engine request by
+// request: the internal fallback producer must preserve exact semantics.
+func TestOwnerAccessFallback(t *testing.T) {
+	s, m := ownerPair(Config{Capacity: 64, Window: 500}, 4)
+	defer s.Close()
+	var hits uint64
+	for i, r := range shardedTrace(5000, 11) {
+		got, want := s.Access(r), m.Access(r)
+		if got != want {
+			t.Fatalf("request %d: owner Access=%v, mutex Access=%v", i, got, want)
+		}
+		if got && r.Op == trace.Read {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no hits; test is vacuous")
+	}
+}
+
+// TestOwnerConcurrentProducers hammers an owner front with more producers
+// than shards — the -race stress for the SPSC rings, doorbells, and frame
+// reuse. Aggregate accounting must stay exact even though the interleaving
+// is nondeterministic.
+func TestOwnerConcurrentProducers(t *testing.T) {
+	const producers = 8
+	cfg := Config{Capacity: 128, Window: 1000, Engine: EngineOwner}
+	s := NewSharded(cfg, 2)
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	var reads, readHits, writes [producers]uint64
+	for c := 0; c < producers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			p := s.NewProducer()
+			defer p.Close()
+			reqs := shardedTrace(5000, int64(100+c))
+			hits := make([]bool, 96)
+			for off := 0; off < len(reqs); off += 96 {
+				end := off + 96
+				if end > len(reqs) {
+					end = len(reqs)
+				}
+				p.AccessBatch(reqs[off:end], hits)
+				for i := off; i < end; i++ {
+					if reqs[i].Op == trace.Read {
+						reads[c]++
+						if hits[i-off] {
+							readHits[c]++
+						}
+					} else {
+						writes[c]++
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var wantReads, wantHits, wantWrites uint64
+	for c := 0; c < producers; c++ {
+		wantReads += reads[c]
+		wantHits += readHits[c]
+		wantWrites += writes[c]
+	}
+	st := s.Stats()
+	if st.Reads != wantReads || st.Writes != wantWrites || st.Requests != uint64(producers*5000) {
+		t.Errorf("Stats reads=%d writes=%d requests=%d, want %d/%d/%d",
+			st.Reads, st.Writes, st.Requests, wantReads, wantWrites, producers*5000)
+	}
+	if st.ReadHits != wantHits {
+		t.Errorf("Stats readHits=%d, client-side count %d", st.ReadHits, wantHits)
+	}
+	if wantHits == 0 {
+		t.Error("no hits across all producers")
+	}
+	if s.Len() > s.Capacity() {
+		t.Errorf("Len %d exceeds capacity %d", s.Len(), s.Capacity())
+	}
+	if len(s.WindowStats()) == 0 {
+		t.Error("WindowStats is empty under load")
+	}
+}
+
+// TestOwnerGlobalConcurrent pairs the owner engine with the shared global
+// learner: shard owners feed one lock-striped learner concurrently. The
+// global window count stays exact (one rotation per W requests cache-wide).
+func TestOwnerGlobalConcurrent(t *testing.T) {
+	const producers = 6
+	cfg := Config{Capacity: 128, Window: 1000, Stats: StatsGlobal, Engine: EngineOwner}
+	s := NewSharded(cfg, 2)
+	defer s.Close()
+
+	var wg sync.WaitGroup
+	var hits [producers]uint64
+	for c := 0; c < producers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			p := s.NewProducer()
+			defer p.Close()
+			reqs := shardedTrace(5000, int64(200+c))
+			out := make([]bool, 128)
+			for off := 0; off < len(reqs); off += 128 {
+				end := off + 128
+				if end > len(reqs) {
+					end = len(reqs)
+				}
+				p.AccessBatch(reqs[off:end], out)
+				for i := off; i < end; i++ {
+					if out[i-off] && reqs[i].Op == trace.Read {
+						hits[c]++
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	var total uint64
+	for _, h := range hits {
+		total += h
+	}
+	if total == 0 {
+		t.Error("no hits across producers")
+	}
+	if want := producers * 5000 / 1000; s.Windows() != want {
+		t.Errorf("Windows = %d, want exactly %d", s.Windows(), want)
+	}
+	if st := s.Stats(); st.Learner != "global" || st.Engine != "owner" {
+		t.Errorf("Stats reports learner=%q engine=%q", st.Learner, st.Engine)
+	}
+}
+
+// TestOwnerClose checks Close is idempotent, leaves snapshots readable, and
+// that mutex-mode Close is a no-op.
+func TestOwnerClose(t *testing.T) {
+	s := NewSharded(Config{Capacity: 32, Window: 500, Engine: EngineOwner}, 3)
+	p := s.NewProducer()
+	reqs := shardedTrace(2000, 3)
+	hits := make([]bool, len(reqs))
+	p.AccessBatch(reqs, hits)
+	p.Close()
+	st := s.Stats()
+	s.Close()
+	s.Close() // idempotent
+	if after := s.Stats(); after != st {
+		t.Errorf("Stats changed across Close: %+v vs %+v", after, st)
+	}
+	if st.Requests != uint64(len(reqs)) {
+		t.Errorf("Requests = %d, want %d", st.Requests, len(reqs))
+	}
+	NewSharded(Config{Capacity: 32}, 2).Close() // mutex mode: no-op
+}
+
+// TestEngineModeParse round-trips the flag spellings.
+func TestEngineModeParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want EngineMode
+	}{{"mutex", EngineMutex}, {"", EngineMutex}, {"owner", EngineOwner}, {"single-owner", EngineOwner}} {
+		got, err := ParseEngineMode(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseEngineMode(%q) = %v, %v", tc.in, got, err)
+		}
+	}
+	if _, err := ParseEngineMode("bogus"); err == nil {
+		t.Error("bogus mode accepted")
+	}
+	if EngineMutex.String() != "mutex" || EngineOwner.String() != "owner" {
+		t.Error("EngineMode.String spellings changed")
+	}
+}

@@ -35,8 +35,20 @@ type Sharded struct {
 	shards   []shardedShard
 	capacity int
 	mode     StatsMode
+	engine   EngineMode
 	// global is the shared learner in StatsGlobal mode (nil otherwise).
 	global *clicstats.Global
+
+	// Owner-engine state (EngineOwner only): the owner goroutines' lifetime
+	// and the internal fallback producer behind the per-request Access path.
+	quit    chan struct{}
+	ownerWg sync.WaitGroup
+	closed  atomic.Bool
+	fbMu    sync.Mutex
+	fbOnce  sync.Once
+	fbProd  *Producer
+	fbReq   [1]trace.Request
+	fbHits  [1]bool
 }
 
 // shardedShard pairs one Cache partition with its lock. Padding the mutex
@@ -51,6 +63,10 @@ type Sharded struct {
 type shardedShard struct {
 	mu sync.Mutex
 	c  *Cache
+
+	// bell is the owner goroutine's doorbell in EngineOwner mode: producers
+	// send their ring when it transitions empty→nonempty (see owner.go).
+	bell chan *spscRing
 
 	reads    atomic.Uint64
 	readHits atomic.Uint64
@@ -77,7 +93,7 @@ func NewSharded(cfg Config, n int) *Sharded {
 		panic("core: negative capacity")
 	}
 	full := cfg.withDefaults()
-	s := &Sharded{shards: make([]shardedShard, n), capacity: full.Capacity, mode: full.Stats}
+	s := &Sharded{shards: make([]shardedShard, n), capacity: full.Capacity, mode: full.Stats, engine: full.Engine}
 	if full.Stats == StatsGlobal {
 		s.global = clicstats.NewGlobal(full.learnerConfig())
 	}
@@ -110,6 +126,14 @@ func NewSharded(cfg Config, n int) *Sharded {
 			s.shards[i].c = newCache(sub, s.global)
 		} else {
 			s.shards[i].c = newCache(sub, clicstats.NewPartitioned(sub.learnerConfig()))
+		}
+	}
+	if s.engine == EngineOwner {
+		s.quit = make(chan struct{})
+		for i := range s.shards {
+			s.shards[i].bell = make(chan *spscRing, 128)
+			s.ownerWg.Add(1)
+			go s.ownerLoop(i)
 		}
 	}
 	return s
@@ -157,11 +181,19 @@ func (s *Sharded) Name() string {
 // StatsMode returns the statistics-learning mode in effect.
 func (s *Sharded) StatsMode() StatsMode { return s.mode }
 
+// EngineMode returns the concurrency architecture in effect.
+func (s *Sharded) EngineMode() EngineMode { return s.engine }
+
 // Access implements policy.Policy. It is safe for concurrent use: requests
 // hitting different shards proceed in parallel, requests for the same shard
 // serialize on its mutex. In global mode the shards additionally share the
-// learner, whose hot path is lock-striped by hint set.
+// learner, whose hot path is lock-striped by hint set. In owner mode this
+// path pays a frame round trip per request — batch drivers should use
+// NewProducer/AccessBatch instead.
 func (s *Sharded) Access(r trace.Request) bool {
+	if s.engine == EngineOwner {
+		return s.accessOwner(r)
+	}
 	sh := &s.shards[s.ShardFor(r.Page)]
 	sh.mu.Lock()
 	hit := sh.c.Access(r)
@@ -235,10 +267,12 @@ type Stats struct {
 	OutqueueLen int
 	Windows     int
 	// Shards and Capacity are the front's fixed configuration; Learner is
-	// the statistics mode ("partitioned" or "global").
+	// the statistics mode ("partitioned" or "global") and Engine the
+	// concurrency architecture ("mutex" or "owner").
 	Shards   int
 	Capacity int
 	Learner  string
+	Engine   string
 }
 
 // HitRatio returns the snapshot's read hit ratio (0 when no reads yet).
@@ -254,7 +288,7 @@ func (st Stats) HitRatio() float64 {
 // to call per response batch. Counters from shards with requests in flight
 // may lag by those requests; each counter is individually exact.
 func (s *Sharded) Stats() Stats {
-	st := Stats{Shards: len(s.shards), Capacity: s.capacity, Learner: s.mode.String()}
+	st := Stats{Shards: len(s.shards), Capacity: s.capacity, Learner: s.mode.String(), Engine: s.engine.String()}
 	for i := range s.shards {
 		sh := &s.shards[i]
 		// Load readHits before reads: a concurrent Access bumps reads
@@ -288,10 +322,8 @@ func (s *Sharded) WindowStats() []HintStat {
 	}
 	parts := make([][]HintStat, len(s.shards))
 	for i := range s.shards {
-		sh := &s.shards[i]
-		sh.mu.Lock()
-		parts[i] = sh.c.WindowStats()
-		sh.mu.Unlock()
+		i := i
+		s.withCache(i, func(c *Cache) { parts[i] = c.WindowStats() })
 	}
 	return clicstats.MergeHintStats(parts...)
 }

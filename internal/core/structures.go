@@ -32,11 +32,18 @@ type group struct {
 }
 
 // appendToGroup places a cached entry at the tail of its hint set's group,
-// creating the group (and registering it in the heap) when needed.
+// creating the group (and registering it in the heap) when needed. Groups
+// come from the freelist when one is available.
 func (c *Cache) appendToGroup(e *pageEntry, h hint.ID) {
 	g, ok := c.groups[h]
 	if !ok {
-		g = &group{hint: h, pr: c.priority(h)}
+		if n := len(c.freeGroups); n > 0 {
+			g = c.freeGroups[n-1]
+			c.freeGroups = c.freeGroups[:n-1]
+			*g = group{hint: h, pr: c.priority(h)}
+		} else {
+			g = &group{hint: h, pr: c.priority(h)}
+		}
 		c.groups[h] = g
 	}
 	e.grp = g
@@ -77,6 +84,7 @@ func (c *Cache) removeFromGroup(e *pageEntry) {
 	if g.size == 0 {
 		heap.Remove(&c.heap, g.heapIdx)
 		delete(c.groups, g.hint)
+		c.freeGroups = append(c.freeGroups, g)
 		return
 	}
 	if wasHead {
@@ -124,6 +132,11 @@ type outqueue struct {
 	pages      map[uint64]*pageEntry
 	head, tail *pageEntry // head is the least-recently inserted
 	size       int
+
+	// free is the pageEntry freelist (linked through next), shared with the
+	// cache's page table: entries cycle between cached, outqueued and free
+	// on every admit/evict, so the steady state allocates none.
+	free *pageEntry
 }
 
 func (q *outqueue) init(capacity int) {
@@ -137,39 +150,89 @@ func (q *outqueue) get(page uint64) (*pageEntry, bool) {
 	return e, ok
 }
 
-// put records (seq, hint) for a page. An existing entry is refreshed and
-// moved to the most-recently-inserted position, matching §3.1's "an entry
-// is placed in the outqueue" for every uncached request.
-func (q *outqueue) put(page, seq uint64, h hint.ID) {
-	if q.capacity <= 0 {
-		return
+// takeFree pops an entry off the freelist (or allocates one) initialized to
+// the given record.
+func (q *outqueue) takeFree(page, seq uint64, h hint.ID) *pageEntry {
+	e := q.free
+	if e == nil {
+		return &pageEntry{page: page, seq: seq, hint: h}
 	}
-	if e, ok := q.pages[page]; ok {
-		e.seq = seq
-		e.hint = h
-		q.unlink(e)
-		q.append(e)
+	q.free = e.next
+	*e = pageEntry{page: page, seq: seq, hint: h}
+	return e
+}
+
+// recycle returns an entry (no longer referenced by any map or list) to the
+// freelist.
+func (q *outqueue) recycle(e *pageEntry) {
+	*e = pageEntry{next: q.free}
+	q.free = e
+}
+
+// putNew records (seq, hint) for a page known to have no entry yet,
+// matching §3.1's "an entry is placed in the outqueue" for every uncached
+// request. When the queue is full the least-recently inserted entry is
+// reused for the new page.
+func (q *outqueue) putNew(page, seq uint64, h hint.ID) {
+	if q.capacity <= 0 {
 		return
 	}
 	if q.size >= q.capacity {
 		old := q.head
 		q.unlink(old)
 		delete(q.pages, old.page)
-		q.size--
+		*old = pageEntry{page: page, seq: seq, hint: h}
+		q.pages[page] = old
+		q.append(old)
+		return
 	}
-	e := &pageEntry{page: page, seq: seq, hint: h}
+	e := q.takeFree(page, seq, h)
 	q.pages[page] = e
 	q.append(e)
 	q.size++
 }
 
-// drop removes a page's record, if any (used when the page becomes cached).
-func (q *outqueue) drop(page uint64) {
-	if e, ok := q.pages[page]; ok {
-		q.unlink(e)
-		delete(q.pages, page)
-		q.size--
+// refresh updates an existing entry's record and moves it to the
+// most-recently-inserted position.
+func (q *outqueue) refresh(e *pageEntry, seq uint64, h hint.ID) {
+	e.seq = seq
+	e.hint = h
+	q.unlink(e)
+	q.append(e)
+}
+
+// putEntry moves a just-evicted cached entry (already unlinked from its
+// group and the page table) into the outqueue, reusing the entry itself.
+// It returns the entry displaced to make room, if any — the caller checks
+// it against the incoming page's own outqueue record, which can be exactly
+// the one displaced.
+func (q *outqueue) putEntry(e *pageEntry) (displaced *pageEntry) {
+	if q.capacity <= 0 {
+		q.recycle(e)
+		return nil
 	}
+	// e's page cannot already be present: a page has a cached record or an
+	// outqueue record, never both.
+	if q.size >= q.capacity {
+		old := q.head
+		q.unlink(old)
+		delete(q.pages, old.page)
+		q.size--
+		displaced = old
+		q.recycle(old)
+	}
+	q.pages[e.page] = e
+	q.append(e)
+	q.size++
+	return displaced
+}
+
+// dropEntry removes an entry (used when its page becomes cached).
+func (q *outqueue) dropEntry(e *pageEntry) {
+	q.unlink(e)
+	delete(q.pages, e.page)
+	q.size--
+	q.recycle(e)
 }
 
 func (q *outqueue) append(e *pageEntry) {

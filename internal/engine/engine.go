@@ -134,11 +134,15 @@ func Grid(policies []string, sizes []int, t *trace.Trace, clicCfg core.Config, o
 // interleaved trace (trace.Interleave tags each request with its client).
 // The cache must be safe for concurrent use — core.Sharded is; plain CLIC
 // and the baseline policies are not. The front's statistics-learning mode
-// (core.Config.Stats: per-shard partitioned or shared global) rides in with
-// the constructed cache; both modes are safe here. Per-client read
-// accounting is exact; the aggregate hit count depends on the actual
-// interleaving of the clients' requests, so unlike Run it is not
-// deterministic across calls.
+// (core.Config.Stats: per-shard partitioned or shared global) and engine
+// (core.Config.Engine: mutex shards or single-owner shards) ride in with
+// the constructed cache. A Sharded front is driven through per-client
+// producer handles in batches of core.DefaultAccessBatch — the same shape
+// the network path uses — so the owner engine's frame fan-out is exercised
+// identically in-process and over TCP; other policies take the per-request
+// path. Per-client read accounting is exact; the aggregate hit count
+// depends on the actual interleaving of the clients' requests, so unlike
+// Run it is not deterministic across calls.
 func ServeClients(p policy.Policy, t *trace.Trace) sim.Result {
 	if prep, ok := p.(policy.Preparer); ok {
 		prep.Prepare(t.Reqs)
@@ -148,6 +152,7 @@ func ServeClients(p policy.Policy, t *trace.Trace) sim.Result {
 	// loopback and in-process paths drive the cache with identical
 	// per-client subsequences.
 	streams := t.SplitClients()
+	sharded, _ := p.(*core.Sharded)
 
 	res := sim.Result{
 		Trace:     t.Name,
@@ -163,6 +168,10 @@ func ServeClients(p policy.Policy, t *trace.Trace) sim.Result {
 			defer wg.Done()
 			st := &res.PerClient[c] // each goroutine owns its own ClientStat
 			st.Name = t.Clients[c]
+			if sharded != nil {
+				serveStream(sharded, streams[c], st)
+				return
+			}
 			for _, r := range streams[c] {
 				hit := p.Access(r)
 				if r.Op == trace.Read {
@@ -180,4 +189,28 @@ func ServeClients(p policy.Policy, t *trace.Trace) sim.Result {
 		res.ReadHits += st.ReadHits
 	}
 	return res
+}
+
+// serveStream replays one client's stream through its own producer handle
+// in wire-sized batches.
+func serveStream(s *core.Sharded, reqs []trace.Request, st *sim.ClientStat) {
+	prod := s.NewProducer()
+	defer prod.Close()
+	hits := make([]bool, core.DefaultAccessBatch)
+	for off := 0; off < len(reqs); off += core.DefaultAccessBatch {
+		end := off + core.DefaultAccessBatch
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		batch := reqs[off:end]
+		prod.AccessBatch(batch, hits)
+		for i := range batch {
+			if batch[i].Op == trace.Read {
+				st.Reads++
+				if hits[i] {
+					st.ReadHits++
+				}
+			}
+		}
+	}
 }

@@ -329,3 +329,88 @@ func TestServeClientsGlobalMoreClientsThanShards(t *testing.T) {
 		t.Errorf("Windows = %d, want exactly %d (shared learner rotates cache-wide)", st.Windows, want)
 	}
 }
+
+// TestServeClientsOwnerSingleClient is the engine-layer equivalence golden
+// test for the single-owner engine: with one client, ServeClients is a
+// serial batch replay through one producer, which in partitioned-statistics
+// mode is bit-identical to the mutex engine's per-request replay — same
+// reads, same hits, same structural state.
+func TestServeClientsOwnerSingleClient(t *testing.T) {
+	cfg := core.Config{Capacity: 3000, Window: 5000}
+	const shards = 4
+
+	mutex := core.NewSharded(cfg, shards)
+	want := ServeClients(mutex, testTrace)
+
+	ocfg := cfg
+	ocfg.Engine = core.EngineOwner
+	owner := core.NewSharded(ocfg, shards)
+	defer owner.Close()
+	got := ServeClients(owner, testTrace)
+
+	if got.Reads != want.Reads || got.ReadHits != want.ReadHits {
+		t.Errorf("owner %d/%d hits/reads, mutex %d/%d", got.ReadHits, got.Reads, want.ReadHits, want.Reads)
+	}
+	if got.ReadHits == 0 {
+		t.Error("no hits at all; test is vacuous")
+	}
+	if owner.Len() != mutex.Len() || owner.OutqueueLen() != mutex.OutqueueLen() {
+		t.Errorf("structural drift: Len %d/%d, Outqueue %d/%d",
+			owner.Len(), mutex.Len(), owner.OutqueueLen(), mutex.OutqueueLen())
+	}
+	os, ms := owner.Stats(), mutex.Stats()
+	ms.Engine = os.Engine // the one field allowed to differ
+	if os != ms {
+		t.Errorf("Stats drift:\nowner %+v\nmutex %+v", os, ms)
+	}
+}
+
+// TestServeClientsOwnerMoreClientsThanShards drives a 2-shard owner-engine
+// front from 6 concurrent producers — the engine-layer -race stress for
+// the SPSC rings and doorbells. Per-client read counts are exact; hit
+// counts depend on interleaving but the accounting must balance.
+func TestServeClientsOwnerMoreClientsThanShards(t *testing.T) {
+	parts := make([]*trace.Trace, 6)
+	for i := range parts {
+		parts[i] = testTrace.Truncate(6000)
+		parts[i].Name = string(rune('A' + i))
+	}
+	merged, err := trace.Interleave("SIX", parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewSharded(core.Config{Capacity: 3000, Window: 3000, Engine: core.EngineOwner}, 2)
+	defer s.Close()
+	res := ServeClients(s, merged)
+
+	var reads, hits uint64
+	for c, st := range res.PerClient {
+		wantReads := uint64(0)
+		for _, r := range merged.Reqs {
+			if int(r.Client) == c && r.Op == trace.Read {
+				wantReads++
+			}
+		}
+		if st.Reads != wantReads {
+			t.Errorf("client %d Reads = %d, want %d", c, st.Reads, wantReads)
+		}
+		reads += st.Reads
+		hits += st.ReadHits
+	}
+	if res.Reads != reads || res.ReadHits != hits {
+		t.Errorf("totals (%d, %d) disagree with per-client sums (%d, %d)", res.Reads, res.ReadHits, reads, hits)
+	}
+	if res.ReadHits == 0 {
+		t.Error("no hits at all; cache is not being exercised")
+	}
+	st := s.Stats()
+	if st.Reads != res.Reads || st.ReadHits != res.ReadHits {
+		t.Errorf("Stats (%d reads, %d hits) disagree with result (%d, %d)", st.Reads, st.ReadHits, res.Reads, res.ReadHits)
+	}
+	if st.Requests != uint64(merged.Len()) {
+		t.Errorf("Stats.Requests = %d, want %d", st.Requests, merged.Len())
+	}
+	if st.Engine != "owner" {
+		t.Errorf("Stats.Engine = %q, want owner", st.Engine)
+	}
+}

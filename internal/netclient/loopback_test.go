@@ -397,3 +397,84 @@ func TestLoopbackGoldenGlobalSingleShard(t *testing.T) {
 		t.Error("no hits at all; the loopback path is vacuous")
 	}
 }
+
+// TestLoopbackOwnerGolden is the TCP-layer equivalence test for the
+// single-owner engine: the same single-client replay against two servers
+// that differ only in Config.Engine must produce bit-identical hit counts
+// — the wire path, connection handler and batch fan-out preserve exact
+// per-request semantics in both engine modes.
+func TestLoopbackOwnerGolden(t *testing.T) {
+	cfg := core.Config{Capacity: 3000, Window: 5000}
+	const shards = 4
+
+	mutexSrv := startServer(t, server.Config{Cache: cfg, Shards: shards})
+	want, err := netclient.Replay(mutexSrv.Addr().String(), testTrace, netclient.ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ocfg := cfg
+	ocfg.Engine = core.EngineOwner
+	ownerSrv := startServer(t, server.Config{Cache: ocfg, Shards: shards})
+	got, err := netclient.Replay(ownerSrv.Addr().String(), testTrace, netclient.ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got.Reads != want.Reads || got.ReadHits != want.ReadHits {
+		t.Errorf("owner server %d/%d hits/reads, mutex server %d/%d",
+			got.ReadHits, got.Reads, want.ReadHits, want.Reads)
+	}
+	if got.ReadHits == 0 {
+		t.Error("no hits at all; test is vacuous")
+	}
+	os, ms := ownerSrv.Cache().Stats(), mutexSrv.Cache().Stats()
+	if os.Engine != "owner" || ms.Engine != "mutex" {
+		t.Fatalf("engines reported as %q and %q", os.Engine, ms.Engine)
+	}
+	ms.Engine = os.Engine
+	if os != ms {
+		t.Errorf("server Stats drift:\nowner %+v\nmutex %+v", os, ms)
+	}
+}
+
+// TestLoopbackOwnerMultiClient replays three concurrent clients against an
+// owner-engine server — the TCP-layer stress for concurrent producers.
+// Per-client read counts are exact and the server accounting must agree
+// with the clients'.
+func TestLoopbackOwnerMultiClient(t *testing.T) {
+	parts := make([]*trace.Trace, 3)
+	for i := range parts {
+		parts[i] = testTrace.Truncate(8000)
+		parts[i].Name = string(rune('A' + i))
+	}
+	merged, err := trace.Interleave("THREE", parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.Config{Capacity: 3000, Window: 5000, Engine: core.EngineOwner}
+	srv := startServer(t, server.Config{Cache: cfg, Shards: 2})
+	res, err := netclient.Replay(srv.Addr().String(), merged, netclient.ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reads, hits uint64
+	for _, cs := range res.PerClient {
+		reads += cs.Reads
+		hits += cs.ReadHits
+	}
+	if res.Reads != reads || res.ReadHits != hits {
+		t.Errorf("totals (%d, %d) disagree with per-client sums (%d, %d)", res.Reads, res.ReadHits, reads, hits)
+	}
+	if res.ReadHits == 0 {
+		t.Error("no hits at all")
+	}
+	st := srv.Cache().Stats()
+	if st.Reads != res.Reads || st.ReadHits != res.ReadHits {
+		t.Errorf("server stats (%d, %d) disagree with client accounting (%d, %d)",
+			st.Reads, st.ReadHits, res.Reads, res.ReadHits)
+	}
+	if st.Requests != uint64(merged.Len()) {
+		t.Errorf("server Requests = %d, want %d", st.Requests, merged.Len())
+	}
+}

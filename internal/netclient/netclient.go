@@ -296,8 +296,14 @@ func ReplayFile(addr, path string, opt ReplayOptions) (sim.Result, error) {
 	}
 	defer sc.Close()
 
+	// Batch buffers cycle between the dispatcher and each worker: the
+	// dispatcher fills one from the scan, hands it over on ch, and the
+	// worker returns it on free once the server has answered. After a few
+	// batches per client the replay reuses the same handful of buffers —
+	// the steady-state dispatch path allocates nothing.
 	type worker struct {
 		ch      chan []trace.Request
+		free    chan []trace.Request
 		pending []trace.Request
 		st      *sim.ClientStat
 	}
@@ -328,7 +334,11 @@ func ReplayFile(addr, path string, opt ReplayOptions) (sim.Result, error) {
 		return first != nil
 	}
 	spawn := func(name string) *worker {
-		w := &worker{ch: make(chan []trace.Request, 4), st: &sim.ClientStat{Name: name}}
+		w := &worker{
+			ch:   make(chan []trace.Request, 4),
+			free: make(chan []trace.Request, 8),
+			st:   &sim.ClientStat{Name: name},
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -347,20 +357,15 @@ func ReplayFile(addr, path string, opt ReplayOptions) (sim.Result, error) {
 					mu.Unlock()
 				}
 			}
-			for reqs := range w.ch {
-				if conn == nil || failed() {
-					continue // drain so the dispatcher never blocks
-				}
+			send := func(reqs []trace.Request) error {
 				if fresh := log.since(conn.Announced()); len(fresh) > 0 {
 					if err := conn.Announce(fresh); err != nil {
-						fail(err)
-						continue
+						return err
 					}
 				}
 				res, err := conn.Do(reqs)
 				if err != nil {
-					fail(err)
-					continue
+					return err
 				}
 				for i, r := range reqs {
 					if r.Op == trace.Read {
@@ -369,6 +374,19 @@ func ReplayFile(addr, path string, opt ReplayOptions) (sim.Result, error) {
 							w.st.ReadHits++
 						}
 					}
+				}
+				return nil
+			}
+			for reqs := range w.ch {
+				// On failure keep draining so the dispatcher never blocks.
+				if conn != nil && !failed() {
+					if err := send(reqs); err != nil {
+						fail(err)
+					}
+				}
+				select {
+				case w.free <- reqs[:0]:
+				default:
 				}
 			}
 		}()
@@ -405,7 +423,11 @@ func ReplayFile(addr, path string, opt ReplayOptions) (sim.Result, error) {
 		w.pending = append(w.pending, r)
 		if len(w.pending) >= batch {
 			w.ch <- w.pending
-			w.pending = nil
+			select {
+			case w.pending = <-w.free:
+			default:
+				w.pending = nil
+			}
 		}
 		total++
 	}

@@ -1,0 +1,57 @@
+// Package prof wires the standard runtime/pprof file profiles into a
+// command's lifetime: Start begins a CPU profile if asked, and the returned
+// stop function ends it and writes a heap profile. Commands pass their
+// -cpuprofile/-memprofile flag values straight through; empty paths disable
+// the respective profile.
+package prof
+
+import (
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling per the given file paths (empty = disabled). The
+// returned stop function is safe to call exactly once, at exit; it stops
+// the CPU profile and dumps the heap profile after a GC (so the heap
+// profile reflects live objects, not transient garbage).
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	return func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				first = err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				return first
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}, nil
+}

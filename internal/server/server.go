@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"sync"
@@ -129,6 +130,14 @@ func (s *Server) ListenAdmin(addr string) error {
 	s.adminLn = ln
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", s.handleStats)
+	// Live profiling rides on the admin listener: /debug/pprof/ for the
+	// index, plus the usual profile endpoints. The page-request listener
+	// stays pure protocol.
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	srv := &http.Server{Handler: mux}
 	s.wg.Add(1)
 	go func() {
@@ -227,6 +236,9 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.wg.Wait()
+	// All producers are drained; stop the shard owner goroutines (a no-op
+	// in mutex mode). Snapshots still read afterwards.
+	s.cache.Close()
 	return err
 }
 
@@ -303,6 +315,14 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
+	// Each connection drives the front through its own producer handle:
+	// in owner mode the decoded batch fans out to the shard owners as
+	// frames, in mutex mode AccessBatch degenerates to the per-request
+	// loop. All batch state (reqs, hits, out, the producer's frames) is
+	// connection-owned and reused, so the steady-state request path —
+	// decode, access, encode — allocates nothing.
+	prod := s.cache.NewProducer()
+	defer prod.Close()
 	var (
 		reqs []trace.Request
 		hits []bool
@@ -340,18 +360,21 @@ func (s *Server) handle(conn net.Conn) {
 				hits = make([]bool, len(reqs))
 			}
 			hits = hits[:len(reqs)]
-			var reads, readHits uint64
-			for i, r := range reqs {
-				if int(r.Hint) >= len(remap) {
-					fail(fmt.Sprintf("hint index %d not announced (table has %d)", r.Hint, len(remap)))
+			// Remap the connection-local hint indices to server-wide IDs in
+			// place, then run the whole batch through the producer.
+			for i := range reqs {
+				if int(reqs[i].Hint) >= len(remap) {
+					fail(fmt.Sprintf("hint index %d not announced (table has %d)", reqs[i].Hint, len(remap)))
 					return
 				}
-				r.Hint = remap[r.Hint]
-				hit := s.cache.Access(r)
-				hits[i] = hit
-				if r.Op == trace.Read {
+				reqs[i].Hint = remap[reqs[i].Hint]
+			}
+			prod.AccessBatch(reqs, hits)
+			var reads, readHits uint64
+			for i := range reqs {
+				if reqs[i].Op == trace.Read {
 					reads++
-					if hit {
+					if hits[i] {
 						readHits++
 					}
 				}

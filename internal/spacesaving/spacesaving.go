@@ -46,6 +46,13 @@ type Summary[K comparable, V any] struct {
 	counters map[K]*Counter[K, V]
 	min      *bucket[K, V] // bucket list head (minimum count); nil when empty
 	observed uint64        // total number of Touch calls since last Reset
+
+	// Free lists. Buckets are created and pruned on almost every increment
+	// (counts are dense, so a counter usually moves into a bucket of its
+	// own) and the whole structure is torn down every window Reset;
+	// recycling both keeps the steady-state Touch path allocation-free.
+	freeBuckets  *bucket[K, V]
+	freeCounters *Counter[K, V]
 }
 
 // New returns a summary that tracks at most k keys. It panics if k <= 0.
@@ -76,7 +83,7 @@ func (s *Summary[K, V]) Touch(key K) (c *Counter[K, V], replacedKey K, replaced 
 		return c, replacedKey, false
 	}
 	if len(s.counters) < s.k {
-		c := &Counter[K, V]{Key: key}
+		c := s.newCounter(key)
 		s.counters[key] = c
 		s.insertWithCount(c, 0)
 		s.increment(c)
@@ -102,6 +109,17 @@ func (s *Summary[K, V]) Get(key K) (*Counter[K, V], bool) {
 	return c, ok
 }
 
+// Range calls fn for every tracked counter, in bucket order (ascending
+// count, unspecified within a bucket). Unlike Counters it allocates
+// nothing; fn must not mutate the summary.
+func (s *Summary[K, V]) Range(fn func(c *Counter[K, V])) {
+	for b := s.min; b != nil; b = b.next {
+		for c := b.head; c != nil; c = c.next {
+			fn(c)
+		}
+	}
+}
+
 // Counters returns all tracked counters in descending count order.
 func (s *Summary[K, V]) Counters() []*Counter[K, V] {
 	out := make([]*Counter[K, V], 0, len(s.counters))
@@ -121,11 +139,58 @@ func (s *Summary[K, V]) Counters() []*Counter[K, V] {
 
 // Reset discards all counters and statistics, returning the summary to its
 // freshly-constructed state. CLIC resets the summary at every request-window
-// boundary (paper §5).
+// boundary (paper §5). Counters and buckets are recycled onto the free
+// lists, so a steady state of repeated windows allocates nothing.
 func (s *Summary[K, V]) Reset() {
-	s.counters = make(map[K]*Counter[K, V], s.k)
+	for b := s.min; b != nil; {
+		for c := b.head; c != nil; {
+			next := c.next
+			s.recycleCounter(c)
+			c = next
+		}
+		next := b.next
+		s.recycleBucket(b)
+		b = next
+	}
+	clear(s.counters)
 	s.min = nil
 	s.observed = 0
+}
+
+// newCounter takes a counter from the free list (or allocates one) and
+// initializes it for key.
+func (s *Summary[K, V]) newCounter(key K) *Counter[K, V] {
+	c := s.freeCounters
+	if c == nil {
+		return &Counter[K, V]{Key: key}
+	}
+	s.freeCounters = c.next
+	var zero V
+	*c = Counter[K, V]{Key: key, Val: zero}
+	return c
+}
+
+func (s *Summary[K, V]) recycleCounter(c *Counter[K, V]) {
+	c.bucket, c.prev = nil, nil
+	c.next = s.freeCounters
+	s.freeCounters = c
+}
+
+// newBucket takes a bucket from the free list (or allocates one).
+func (s *Summary[K, V]) newBucket(count uint64, prev, next *bucket[K, V]) *bucket[K, V] {
+	b := s.freeBuckets
+	if b == nil {
+		return &bucket[K, V]{count: count, prev: prev, next: next}
+	}
+	s.freeBuckets = b.next
+	*b = bucket[K, V]{count: count, prev: prev, next: next}
+	return b
+}
+
+func (s *Summary[K, V]) recycleBucket(b *bucket[K, V]) {
+	b.head, b.prev = nil, nil
+	b.next = s.freeBuckets
+	s.freeBuckets = b
 }
 
 func (c *Counter[K, V]) count() uint64 {
@@ -143,7 +208,7 @@ func (s *Summary[K, V]) increment(c *Counter[K, V]) {
 	// Find or create the destination bucket, which if it exists is old.next.
 	dst := old.next
 	if dst == nil || dst.count != newCount {
-		nb := &bucket[K, V]{count: newCount, prev: old, next: old.next}
+		nb := s.newBucket(newCount, old, old.next)
 		if old.next != nil {
 			old.next.prev = nb
 		}
@@ -155,6 +220,7 @@ func (s *Summary[K, V]) increment(c *Counter[K, V]) {
 	c.Count = newCount
 	if old.head == nil {
 		s.removeBucket(old)
+		s.recycleBucket(old)
 	}
 }
 
@@ -164,7 +230,7 @@ func (s *Summary[K, V]) increment(c *Counter[K, V]) {
 func (s *Summary[K, V]) insertWithCount(c *Counter[K, V], count uint64) {
 	b := s.min
 	if b == nil || b.count != count {
-		nb := &bucket[K, V]{count: count, next: s.min}
+		nb := s.newBucket(count, nil, s.min)
 		if s.min != nil {
 			s.min.prev = nb
 		}

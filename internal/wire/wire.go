@@ -91,9 +91,17 @@ func WriteFrame(w *bufio.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("wire: frame payload %d exceeds limit %d", len(payload), MaxFrame)
 	}
-	var lenBuf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(lenBuf[:], uint64(len(payload)))
-	if _, err := w.Write(lenBuf[:n]); err != nil {
+	// The length prefix goes out byte by byte: WriteByte keeps the varint
+	// on the stack, where a scratch slice handed to Write would escape and
+	// cost an allocation per frame.
+	n := uint64(len(payload))
+	for n >= 0x80 {
+		if err := w.WriteByte(byte(n) | 0x80); err != nil {
+			return err
+		}
+		n >>= 7
+	}
+	if err := w.WriteByte(byte(n)); err != nil {
 		return err
 	}
 	_, err := w.Write(payload)
@@ -210,15 +218,17 @@ func (d *decoder) done() error {
 	return nil
 }
 
-func expect(p []byte, t byte) (*decoder, error) {
+func expect(p []byte, t byte) (decoder, error) {
 	got, err := PayloadType(p)
 	if err != nil {
-		return nil, err
+		return decoder{}, err
 	}
 	if got != t {
-		return nil, fmt.Errorf("wire: frame type %d, want %d", got, t)
+		return decoder{}, fmt.Errorf("wire: frame type %d, want %d", got, t)
 	}
-	return &decoder{p: p, off: 1}, nil
+	// Returned by value so the per-frame decoder lives on the caller's
+	// stack: decoding must not allocate.
+	return decoder{p: p, off: 1}, nil
 }
 
 // AppendHello encodes a Hello payload.
