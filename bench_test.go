@@ -11,14 +11,17 @@
 package repro_test
 
 import (
+	"io"
 	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/netclient"
 	"repro/internal/report"
 	"repro/internal/server"
@@ -385,6 +388,49 @@ func BenchmarkShardedSingleOwner(b *testing.B) {
 			p.AccessBatch(reqs[off:end], hits)
 		}
 		p.Close()
+		st = s.Stats()
+		s.Close()
+	}
+	b.ReportMetric(float64(t.Len())*float64(b.N)/b.Elapsed().Seconds(), "reqs/s")
+	b.ReportMetric(100*st.HitRatio(), "hit-%")
+}
+
+// BenchmarkShardedInstrumented is BenchmarkShardedSingleOwner with the full
+// observability stack attached: a batch-latency histogram observation per
+// AccessBatch and a cache timeline (the clicserve/clicsim column set)
+// ticking a CSV row to a discard sink every 64 batches. The delta against
+// BenchmarkShardedSingleOwner is the whole price of instrumentation on the
+// hot path — it should be noise, and the alloc tests in internal/core pin
+// it at zero allocations.
+func BenchmarkShardedInstrumented(b *testing.B) {
+	t := serveBenchTrace(b)
+	cfg := serveBenchConfig()
+	cfg.Engine = core.EngineOwner
+	hits := make([]bool, core.DefaultAccessBatch)
+	b.ResetTimer()
+	var st core.Stats
+	for i := 0; i < b.N; i++ {
+		s := core.NewSharded(cfg, serveBenchShards)
+		var lat metrics.Histogram
+		tl := metrics.NewTimeline(io.Discard)
+		engine.CacheTimeline(tl, s, &lat)
+		p := s.NewProducer()
+		reqs := t.Reqs
+		batches := 0
+		for off := 0; off < len(reqs); off += core.DefaultAccessBatch {
+			end := off + core.DefaultAccessBatch
+			if end > len(reqs) {
+				end = len(reqs)
+			}
+			start := time.Now()
+			p.AccessBatch(reqs[off:end], hits)
+			lat.Observe(uint64(time.Since(start)))
+			if batches++; batches%64 == 0 {
+				tl.Tick("interval")
+			}
+		}
+		p.Close()
+		tl.Tick("final")
 		st = s.Stats()
 		s.Close()
 	}

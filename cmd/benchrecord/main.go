@@ -178,9 +178,9 @@ func checkRecord(path string) error {
 			return fmt.Errorf("%s recorded %v reqs/s, want > 0", r.Name, r.ReqsPerSec)
 		}
 	}
-	for _, want := range []string{"BenchmarkShardedPartitioned", "BenchmarkShardedSingleOwner"} {
+	for _, want := range []string{"BenchmarkShardedPartitioned", "BenchmarkShardedSingleOwner", "BenchmarkShardedInstrumented"} {
 		if !seen[want] {
-			return fmt.Errorf("record is missing %s (both engine modes must be measured)", want)
+			return fmt.Errorf("record is missing %s (both engine modes and the instrumented run must be measured)", want)
 		}
 	}
 	return nil

@@ -17,23 +17,30 @@
 // default) or "owner" (one goroutine owning each shard, fed request frames
 // by the connection handlers). The admin /stats JSON reports both modes.
 //
-// With -admin set, live statistics (hits, misses, outqueue depth, the
-// current window's per-hint-set statistics) are served as JSON at
-// http://<admin>/stats, and the standard pprof handlers are mounted under
-// http://<admin>/debug/pprof/. -cpuprofile/-memprofile write file profiles
-// covering the serving run (finished at graceful shutdown). On
-// SIGINT/SIGTERM the server drains and prints a final accounting table.
+// With -admin set, live statistics (the front aggregate, the per-shard
+// breakdown, connection accounting, batch-latency summaries, the current
+// window's per-hint-set statistics) are served as JSON at
+// http://<admin>/stats, every layer's series in the Prometheus text format
+// at http://<admin>/metrics, and the standard pprof handlers are mounted
+// under http://<admin>/debug/pprof/. -timeline additionally streams
+// per-interval CSV rows (hit ratio, throughput, outqueue depth, eviction
+// and rotation counts, batch-latency quantiles) to a file, sampled every
+// -metrics-interval and on window rotations. -cpuprofile/-memprofile write
+// file profiles covering the serving run (finished at graceful shutdown).
+// On SIGINT/SIGTERM the server drains and prints a final accounting table.
 //
 // Replay a trace against it with clicsim -connect (see cmd/clicsim), or
 // drive it from your own client via internal/netclient.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/prof"
@@ -54,6 +61,8 @@ func main() {
 		noutq      = flag.Int("noutq", 0, "CLIC: outqueue entries (0 = 5 per cache page)")
 		stats      = flag.String("stats", "partitioned", "statistics learning mode across shards (partitioned|global)")
 		engineFlag = flag.String("engine", "mutex", "shard concurrency engine (mutex|owner)")
+		timeline   = flag.String("timeline", "", "append per-interval metrics rows (CSV) to this file")
+		interval   = flag.Duration("metrics-interval", time.Second, "timeline sampling interval")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at shutdown)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at shutdown")
 	)
@@ -85,7 +94,30 @@ func main() {
 		if err := srv.ListenAdmin(*admin); err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "clicserve: admin stats at http://%s/stats\n", srv.AdminAddr())
+		fmt.Fprintf(os.Stderr, "clicserve: admin stats at http://%s/stats, metrics at http://%s/metrics\n",
+			srv.AdminAddr(), srv.AdminAddr())
+	}
+	stopTimeline := func() {}
+	if *timeline != "" {
+		f, err := os.Create(*timeline)
+		if err != nil {
+			fatal(err)
+		}
+		bf := bufio.NewWriter(f)
+		stop := srv.StartTimeline(bf, *interval)
+		stopTimeline = func() {
+			stop()
+			if err := bf.Flush(); err == nil {
+				err = f.Close()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "clicserve: timeline:", err)
+				}
+			} else {
+				fmt.Fprintln(os.Stderr, "clicserve: timeline:", err)
+				f.Close()
+			}
+		}
+		fmt.Fprintf(os.Stderr, "clicserve: timeline every %s to %s\n", *interval, *timeline)
 	}
 	fmt.Fprintf(os.Stderr, "clicserve: %s front with %s pages serving on %s\n",
 		srv.Cache().Name(), report.Num(*cache), srv.Addr())
@@ -105,6 +137,9 @@ func main() {
 			fatal(err)
 		}
 	}
+	// The cache and its counters survive Close, so the final timeline row
+	// still reads the end-of-run state.
+	stopTimeline()
 	if err := stopProf(); err != nil {
 		fmt.Fprintln(os.Stderr, "clicserve: profile:", err)
 	}

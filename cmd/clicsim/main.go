@@ -37,14 +37,17 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/engine"
+	"repro/internal/metrics"
 	"repro/internal/netclient"
 	"repro/internal/policy"
 	"repro/internal/prof"
@@ -73,6 +76,8 @@ func main() {
 		connect    = flag.String("connect", "", "replay the trace against a cache server at this address")
 		batch      = flag.Int("batch", 0, "-connect: requests per wire frame (0 = default)")
 		limit      = flag.Int("limit", 0, "-connect: replay at most this many requests (0 = all)")
+		timeline   = flag.String("timeline", "", "-concurrent: write per-interval metrics rows (CSV) to this file")
+		interval   = flag.Duration("metrics-interval", time.Second, "-timeline: sampling interval")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
@@ -166,6 +171,12 @@ func main() {
 		fatal(fmt.Errorf("-shards only applies to CLIC, which is not in -policy %q", *policies))
 	}
 
+	if *timeline != "" && (!*concurrent || len(jobs) != 1) {
+		// A timeline is the time-resolved story of one cache under load; a
+		// grid of cells would interleave incomparable rows in one file.
+		fatal(fmt.Errorf("-timeline requires -concurrent and a single policy × cache cell (got %d cells)", len(jobs)))
+	}
+
 	var results []sim.Result
 	if *concurrent {
 		// Concurrent serving: every cell is one sharded front driven by all
@@ -173,7 +184,11 @@ func main() {
 		// each front gets the full core budget.
 		for _, j := range jobs {
 			p := j.New()
-			results = append(results, engine.ServeClients(p, t))
+			if *timeline != "" {
+				results = append(results, serveTimeline(p, t, *timeline, *interval))
+			} else {
+				results = append(results, engine.ServeClients(p, t))
+			}
 			if s, ok := p.(*core.Sharded); ok {
 				s.Close()
 			}
@@ -199,6 +214,39 @@ func main() {
 	if err := tbl.Render(os.Stdout); err != nil {
 		fatal(err)
 	}
+}
+
+// serveTimeline is engine.ServeClients with a timeline recorder attached:
+// the standard cache columns (engine.CacheTimeline) over a batch-latency
+// histogram fed by every client goroutine, sampled every interval and on
+// window rotations, with a final row when the replay drains.
+func serveTimeline(p policy.Policy, t *trace.Trace, path string, interval time.Duration) sim.Result {
+	s, ok := p.(*core.Sharded)
+	if !ok {
+		fatal(fmt.Errorf("-timeline requires the sharded CLIC front"))
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	bf := bufio.NewWriter(f)
+	var lat metrics.Histogram
+	tl := metrics.NewTimeline(bf)
+	engine.CacheTimeline(tl, s, &lat)
+	stop := tl.Start(interval, func() float64 { return float64(s.Windows()) })
+	res := engine.ServeClientsMetrics(p, t, &engine.ServeMetrics{BatchLatency: &lat})
+	stop()
+	if err := tl.Err(); err != nil {
+		fatal(fmt.Errorf("timeline: %w", err))
+	}
+	if err := bf.Flush(); err != nil {
+		fatal(fmt.Errorf("timeline: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		fatal(fmt.Errorf("timeline: %w", err))
+	}
+	fmt.Fprintf(os.Stderr, "clicsim: timeline written to %s\n", path)
+	return res
 }
 
 // serve runs a CLIC cache server until killed: the -serve counterpart of
@@ -243,6 +291,12 @@ func replay(addr, path string, opt netclient.ReplayOptions, perClient bool) {
 	// One machine-greppable summary line (the CI smoke test parses it).
 	fmt.Printf("replay total: requests=%d reads=%d hits=%d ratio=%.4f\n",
 		res.Requests, res.Reads, res.ReadHits, res.HitRatio())
+	// Client-side latency: every Do on every connection lands in the
+	// process-wide RTT histogram, so this is the whole replay's view.
+	if rtt := netclient.BatchRTT().Summary(); rtt.Count > 0 {
+		fmt.Printf("batch rtt: batches=%d mean_us=%.1f p50_us=%.1f p99_us=%.1f\n",
+			rtt.Count, rtt.Mean/1e3, rtt.P50/1e3, rtt.P99/1e3)
+	}
 }
 
 func sizesOrDie(s string) []int {

@@ -178,6 +178,10 @@ type Cache struct {
 	// freeGroups recycles empty hint-set groups; groups churn whenever a
 	// hint set's last page leaves the cache.
 	freeGroups []*group
+
+	// evictions counts cached pages displaced by a higher-priority admit.
+	// Plain (the cache is single-owner); Sharded mirrors it into an atomic.
+	evictions uint64
 }
 
 var _ policy.Policy = (*Cache)(nil)
@@ -226,6 +230,10 @@ func (c *Cache) Config() Config { return c.cfg }
 
 // Learner exposes the cache's statistics learner.
 func (c *Cache) Learner() clicstats.Learner { return c.learner }
+
+// Evictions returns the number of cached pages evicted to admit a
+// higher-priority page.
+func (c *Cache) Evictions() uint64 { return c.evictions }
 
 // Access implements policy.Policy, processing one request per Figure 4 and
 // feeding the hint statistics of §3.1 to the learner.
@@ -301,6 +309,7 @@ func (c *Cache) admit(page, s uint64, h hint.ID, oe *pageEntry) {
 			v := top.head // minimum seq within the minimum-priority group
 			c.removeFromGroup(v)
 			delete(c.pages, v.page)
+			c.evictions++
 			// The victim's record enters the outqueue before the new page's
 			// stale record leaves (the order the original per-step code
 			// implied): if the outqueue is full, the entry displaced can be

@@ -128,6 +128,7 @@ func (s *Sharded) processFrame(sh *shardedShard, f *frame) {
 	}
 	sh.len.Store(int64(c.Len()))
 	sh.outq.Store(int64(c.OutqueueLen()))
+	sh.evictions.Store(c.Evictions())
 	if s.global == nil {
 		sh.windows.Store(int64(c.Windows()))
 	}

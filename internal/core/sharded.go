@@ -68,12 +68,13 @@ type shardedShard struct {
 	// send their ring when it transitions empty→nonempty (see owner.go).
 	bell chan *spscRing
 
-	reads    atomic.Uint64
-	readHits atomic.Uint64
-	writes   atomic.Uint64
-	len      atomic.Int64
-	outq     atomic.Int64
-	windows  atomic.Int64
+	reads     atomic.Uint64
+	readHits  atomic.Uint64
+	writes    atomic.Uint64
+	evictions atomic.Uint64
+	len       atomic.Int64
+	outq      atomic.Int64
+	windows   atomic.Int64
 }
 
 var _ policy.Policy = (*Sharded)(nil)
@@ -199,6 +200,7 @@ func (s *Sharded) Access(r trace.Request) bool {
 	hit := sh.c.Access(r)
 	sh.len.Store(int64(sh.c.Len()))
 	sh.outq.Store(int64(sh.c.OutqueueLen()))
+	sh.evictions.Store(sh.c.Evictions())
 	if s.global == nil {
 		sh.windows.Store(int64(sh.c.Windows()))
 	}
@@ -262,6 +264,8 @@ type Stats struct {
 	ReadHits   uint64
 	ReadMisses uint64
 	Writes     uint64
+	// Evictions counts cached pages displaced by higher-priority admits.
+	Evictions uint64
 	// Len, OutqueueLen and Windows mirror the like-named methods.
 	Len         int
 	OutqueueLen int
@@ -298,6 +302,7 @@ func (s *Sharded) Stats() Stats {
 		st.ReadHits += sh.readHits.Load()
 		st.Reads += sh.reads.Load()
 		st.Writes += sh.writes.Load()
+		st.Evictions += sh.evictions.Load()
 		st.Len += int(sh.len.Load())
 		st.OutqueueLen += int(sh.outq.Load())
 		st.Windows += int(sh.windows.Load())
@@ -308,6 +313,56 @@ func (s *Sharded) Stats() Stats {
 	st.Requests = st.Reads + st.Writes
 	st.ReadMisses = st.Reads - st.ReadHits
 	return st
+}
+
+// ShardStats is one shard's share of the front's accounting — the same
+// counters Stats sums, kept per shard so observability surfaces (/stats,
+// /metrics, timelines) can show load skew across the partition hash.
+type ShardStats struct {
+	Reads       uint64 `json:"reads"`
+	ReadHits    uint64 `json:"read_hits"`
+	Writes      uint64 `json:"writes"`
+	Evictions   uint64 `json:"evictions"`
+	Len         int    `json:"len"`
+	OutqueueLen int    `json:"outqueue_len"`
+	// Windows is the shard learner's completed-window count; in global
+	// statistics mode rotations are cache-wide, so it reports 0 here and
+	// Stats.Windows carries the shared count.
+	Windows int `json:"windows"`
+}
+
+// ShardStats snapshots shard i's counters without taking its lock, with the
+// same read-hits-before-reads ordering (and the same in-flight lag caveat)
+// as Stats.
+func (s *Sharded) ShardStats(i int) ShardStats {
+	sh := &s.shards[i]
+	var st ShardStats
+	st.ReadHits = sh.readHits.Load()
+	st.Reads = sh.reads.Load()
+	st.Writes = sh.writes.Load()
+	st.Evictions = sh.evictions.Load()
+	st.Len = int(sh.len.Load())
+	st.OutqueueLen = int(sh.outq.Load())
+	if s.global == nil {
+		st.Windows = int(sh.windows.Load())
+	}
+	return st
+}
+
+// TrackedHintSets returns the number of hint sets the statistics learner
+// currently tracks: the shared learner's count in global mode, the sum of
+// the per-shard learners' counts in partitioned mode (a hint set seen by
+// several shards counts once per shard). Partitioned mode pays a control
+// frame or lock per shard — an observability read, not a hot-path one.
+func (s *Sharded) TrackedHintSets() int {
+	if s.global != nil {
+		return s.global.TrackedHintSets()
+	}
+	n := 0
+	for i := range s.shards {
+		s.withCache(i, func(c *Cache) { n += c.Learner().TrackedHintSets() })
+	}
+	return n
 }
 
 // WindowStats returns cache-wide per-hint-set statistics for the current

@@ -144,6 +144,15 @@ func Grid(policies []string, sizes []int, t *trace.Trace, clicCfg core.Config, o
 // depends on the actual interleaving of the clients' requests, so unlike
 // Run it is not deterministic across calls.
 func ServeClients(p policy.Policy, t *trace.Trace) sim.Result {
+	return ServeClientsMetrics(p, t, nil)
+}
+
+// ServeClientsMetrics is ServeClients with instrumentation taps: when m is
+// non-nil, each Sharded AccessBatch is timed into m.BatchLatency and
+// logical marks fire per m.EveryRequests (see ServeMetrics). Only Sharded
+// fronts take the batch path, so only they are observed — the same scope
+// the network server instruments. A nil m is exactly ServeClients.
+func ServeClientsMetrics(p policy.Policy, t *trace.Trace, m *ServeMetrics) sim.Result {
 	if prep, ok := p.(policy.Preparer); ok {
 		prep.Prepare(t.Reqs)
 	}
@@ -169,7 +178,11 @@ func ServeClients(p policy.Policy, t *trace.Trace) sim.Result {
 			st := &res.PerClient[c] // each goroutine owns its own ClientStat
 			st.Name = t.Clients[c]
 			if sharded != nil {
-				serveStream(sharded, streams[c], st)
+				if m != nil {
+					serveStreamMetrics(sharded, streams[c], st, m)
+				} else {
+					serveStream(sharded, streams[c], st)
+				}
 				return
 			}
 			for _, r := range streams[c] {

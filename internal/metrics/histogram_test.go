@@ -1,0 +1,220 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestBucketBoundaries pins the bucket layout with an explicit table and
+// then verifies the two mappings are exact inverses over the whole range.
+func TestBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v      uint64
+		bucket int
+		lo, hi uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 1, 1},
+		{2, 2, 2, 2},
+		{3, 3, 3, 3},
+		{4, 4, 4, 4},
+		{5, 5, 5, 5},
+		{6, 6, 6, 6},
+		{7, 7, 7, 7},
+		{8, 8, 8, 9},
+		{9, 8, 8, 9},
+		{10, 9, 10, 11},
+		{12, 10, 12, 13},
+		{14, 11, 14, 15},
+		{16, 12, 16, 19},
+		{31, 15, 28, 31},
+		{32, 16, 32, 39},
+		{1000, 35, 896, 1023},
+		{1024, 36, 1024, 1279},
+		{1 << 20, 76, 1 << 20, 1<<20 + (1<<18 - 1)},
+		{math.MaxUint64, NumBuckets - 1, 7 << 61, math.MaxUint64},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.bucket {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.bucket)
+		}
+		lo, hi := BucketBounds(c.bucket)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("BucketBounds(%d) = [%d, %d], want [%d, %d]", c.bucket, lo, hi, c.lo, c.hi)
+		}
+	}
+	// Exhaustively: every bucket's bounds map back to that bucket, buckets
+	// tile the uint64 range with no gaps, and width stays within 25%.
+	next := uint64(0)
+	for i := 0; i < NumBuckets; i++ {
+		lo, hi := BucketBounds(i)
+		if lo != next {
+			t.Fatalf("bucket %d starts at %d, want %d (gap or overlap)", i, lo, next)
+		}
+		if bucketIndex(lo) != i || bucketIndex(hi) != i {
+			t.Fatalf("bucket %d bounds [%d, %d] do not map back to bucket %d", i, lo, hi, bucketIndex(lo))
+		}
+		if lo > 0 && float64(hi-lo) > 0.25*float64(lo) {
+			t.Fatalf("bucket %d [%d, %d] wider than 25%% of lo", i, lo, hi)
+		}
+		next = hi + 1
+		if hi == math.MaxUint64 {
+			if i != NumBuckets-1 {
+				t.Fatalf("bucket %d already covers MaxUint64", i)
+			}
+			next = 0
+		}
+	}
+}
+
+// TestQuantileAgainstSort compares histogram quantiles against the exact
+// quantiles of the sorted sample set; with ≤25% bucket width they must
+// agree within ~12.5% relative error.
+func TestQuantileAgainstSort(t *testing.T) {
+	// Deterministic skewed workload: xorshift values squashed to span
+	// several orders of magnitude, like batch latencies do.
+	var h Histogram
+	state := uint64(0x9e3779b97f4a7c15)
+	samples := make([]uint64, 0, 20000)
+	for i := 0; i < 20000; i++ {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		v := state % 1_000_000
+		v = v * v / 1_000_000 // skew toward small values
+		samples = append(samples, v)
+		h.Observe(v)
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	for _, q := range []float64{0.01, 0.10, 0.50, 0.90, 0.99, 0.999} {
+		idx := int(math.Ceil(q*float64(len(samples)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		exact := float64(samples[idx])
+		got := h.Quantile(q)
+		relErr := math.Abs(got-exact) / math.Max(exact, 1)
+		if relErr > 0.125 {
+			t.Errorf("q=%g: histogram %.1f vs exact %.1f (rel err %.3f)", q, got, exact, relErr)
+		}
+	}
+	if h.Count() != uint64(len(samples)) {
+		t.Errorf("Count() = %d, want %d", h.Count(), len(samples))
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistSnapshot
+	if got := empty.Quantile(0.5); got != 0 {
+		t.Errorf("empty snapshot quantile = %g, want 0", got)
+	}
+	var h Histogram
+	h.Observe(42)
+	for _, q := range []float64{0, 0.5, 1} {
+		got := h.Quantile(q)
+		lo, hi := BucketBounds(bucketIndex(42))
+		if got < float64(lo) || got > float64(hi) {
+			t.Errorf("single-sample quantile(%g) = %g outside bucket [%d, %d]", q, got, lo, hi)
+		}
+	}
+}
+
+func TestSnapshotSub(t *testing.T) {
+	var h Histogram
+	h.Observe(10)
+	h.Observe(100)
+	var before HistSnapshot
+	h.Snapshot(&before)
+	h.Observe(1000)
+	h.Observe(1000)
+	var after HistSnapshot
+	h.Snapshot(&after)
+	after.Sub(&before)
+	if after.Count != 2 || after.Sum != 2000 {
+		t.Fatalf("interval snapshot count=%d sum=%d, want 2, 2000", after.Count, after.Sum)
+	}
+	if after.Counts[bucketIndex(1000)] != 2 {
+		t.Fatalf("interval snapshot missing the two 1000 samples")
+	}
+	if after.Counts[bucketIndex(10)] != 0 {
+		t.Fatalf("interval snapshot kept pre-interval samples")
+	}
+}
+
+// TestHistogramConcurrent hammers one histogram from several goroutines
+// (meaningful under -race) and checks totals.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const (
+		workers = 8
+		perW    = 10000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				h.Observe(uint64(w*perW + i))
+			}
+		}(w)
+	}
+	// Concurrent readers: snapshots and summaries while writes proceed.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var s HistSnapshot
+			for i := 0; i < 100; i++ {
+				h.Snapshot(&s)
+				s.Quantile(0.9)
+				h.Summary()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != workers*perW {
+		t.Fatalf("Count() = %d, want %d", h.Count(), workers*perW)
+	}
+	want := uint64(workers*perW) * uint64(workers*perW-1) / 2
+	if h.Sum() != want {
+		t.Fatalf("Sum() = %d, want %d", h.Sum(), want)
+	}
+	total := uint64(0)
+	var s HistSnapshot
+	h.Snapshot(&s)
+	for _, n := range s.Counts {
+		total += n
+	}
+	if total != workers*perW {
+		t.Fatalf("bucket total = %d, want %d", total, workers*perW)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var h Histogram
+	sum := h.Summary()
+	if sum.Count != 0 || sum.Mean != 0 || sum.Max != 0 {
+		t.Fatalf("empty summary not zero: %+v", sum)
+	}
+	for i := uint64(1); i <= 100; i++ {
+		h.Observe(i)
+	}
+	sum = h.Summary()
+	if sum.Count != 100 || sum.Sum != 5050 {
+		t.Fatalf("summary count=%d sum=%d, want 100, 5050", sum.Count, sum.Sum)
+	}
+	if sum.Mean != 50.5 {
+		t.Fatalf("summary mean = %g, want 50.5", sum.Mean)
+	}
+	if sum.P50 < 45 || sum.P50 > 56 {
+		t.Fatalf("summary p50 = %g, want ≈50", sum.P50)
+	}
+	// Max is the upper bound of the bucket holding 100.
+	_, hi := BucketBounds(bucketIndex(100))
+	if sum.Max != float64(hi) {
+		t.Fatalf("summary max = %g, want %d", sum.Max, hi)
+	}
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("gauge = %d, want 7", g.Value())
+	}
+}
+
+// TestWritePrometheus pins the exposition format: sorted series, one
+// HELP/TYPE header per name, label rendering, histogram buckets.
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("clic_requests_total", "Requests served.", "shard", "0")
+	c.Add(5)
+	c2 := r.Counter("clic_requests_total", "Requests served.", "shard", "1")
+	c2.Add(7)
+	g := r.Gauge("clic_cache_pages", "Pages resident.")
+	g.Set(123)
+	h := r.Histogram("clic_batch_ns", "Batch service time.")
+	h.Observe(3)
+	h.Observe(3)
+	h.Observe(100)
+	r.GaugeFunc("clic_alpha", "Sorted first.", func() float64 { return 1.5 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP clic_alpha Sorted first.
+# TYPE clic_alpha gauge
+clic_alpha 1.5
+# HELP clic_batch_ns Batch service time.
+# TYPE clic_batch_ns histogram
+clic_batch_ns_bucket{le="3"} 2
+clic_batch_ns_bucket{le="111"} 3
+clic_batch_ns_bucket{le="+Inf"} 3
+clic_batch_ns_sum 106
+clic_batch_ns_count 3
+# HELP clic_cache_pages Pages resident.
+# TYPE clic_cache_pages gauge
+clic_cache_pages 123
+# HELP clic_requests_total Requests served.
+# TYPE clic_requests_total counter
+clic_requests_total{shard="0"} 5
+clic_requests_total{shard="1"} 7
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestRenderLabelsEscaping(t *testing.T) {
+	got := renderLabels([]string{"path", `a\b"c` + "\n"})
+	want := `{path="a\\b\"c\n"}`
+	if got != want {
+		t.Fatalf("renderLabels = %q, want %q", got, want)
+	}
+	if renderLabels(nil) != "" {
+		t.Fatalf("renderLabels(nil) should be empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("odd label count should panic")
+		}
+	}()
+	renderLabels([]string{"only-key"})
+}
+
+func TestMergeLabels(t *testing.T) {
+	if got := mergeLabels("", "le", "+Inf"); got != `{le="+Inf"}` {
+		t.Fatalf("mergeLabels empty = %q", got)
+	}
+	if got := mergeLabels(`{shard="3"}`, "le", "8"); got != `{shard="3",le="8"}` {
+		t.Fatalf("mergeLabels nonempty = %q", got)
+	}
+}
+
+// TestNilRegistry: instrumented packages register unconditionally; a nil
+// registry must absorb everything without panicking.
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "")
+	c.Inc()
+	r.Gauge("y", "").Set(1)
+	r.Histogram("z", "").Observe(1)
+	r.CounterFunc("f", "", func() float64 { return 0 })
+	r.GaugeFunc("g", "", func() float64 { return 0 })
+	r.RegisterHistogram("h", "", &Histogram{})
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "0"},
+		{5, "5"},
+		{1.5, "1.5"},
+		{1e21, "1e+21"},
+		{0.8571428571428571, "0.8571428571428571"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.v); got != c.want {
+			t.Errorf("formatValue(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

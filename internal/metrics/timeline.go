@@ -1,0 +1,265 @@
+package metrics
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Timeline records registered series as CSV rows over time: one row per
+// tick, one column per registered reading. Rows carry a row index, the
+// elapsed clock and the trigger reason, then the column values. Columns
+// are point-in-time values, deltas since the previous row, per-second
+// rates, ratios of deltas, or per-interval histogram quantiles — the
+// shapes a time-resolved cache evaluation needs (hit ratio, throughput,
+// queue depth, latency quantiles per interval).
+//
+// Ticks are explicit (Tick) or driven by Start's sampling goroutine,
+// which emits a row every interval and additionally whenever the watched
+// rotation counter changes, so window rotations land in the timeline at
+// poll resolution. The clock is injectable (SetClock); with a scripted
+// clock and explicit ticks a timeline file is bit-identical across runs,
+// which is how the golden CSV test pins the format.
+//
+// Tick allocates nothing in steady state: the row is assembled in a
+// reused buffer and written with one Write call. Timeline methods are
+// safe for concurrent use; column registration must finish before the
+// first tick (the header is written once).
+type Timeline struct {
+	mu      sync.Mutex
+	w       io.Writer
+	clock   func() time.Duration
+	cols    []*column
+	buf     []byte
+	row     int
+	lastT   time.Duration
+	started bool
+	err     error
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type colKind uint8
+
+const (
+	colValue colKind = iota
+	colDelta
+	colRate
+	colRatio
+	colQuantile
+)
+
+type column struct {
+	name  string
+	kind  colKind
+	read  func() float64
+	read2 func() float64 // ratio denominator
+	last  float64
+	last2 float64
+	hist  *Histogram
+	q     float64
+	prev  HistSnapshot
+	cur   HistSnapshot
+	diff  HistSnapshot
+}
+
+// NewTimeline returns a timeline writing CSV rows to w. The default clock
+// is wall time since this call.
+func NewTimeline(w io.Writer) *Timeline {
+	start := time.Now()
+	return &Timeline{w: w, clock: func() time.Duration { return time.Since(start) }}
+}
+
+// SetClock replaces the timeline's clock (elapsed time since an arbitrary
+// epoch). Call before the first tick; tests inject deterministic clocks.
+func (t *Timeline) SetClock(fn func() time.Duration) {
+	t.mu.Lock()
+	t.clock = fn
+	t.mu.Unlock()
+}
+
+func (t *Timeline) addCol(c *column) {
+	t.mu.Lock()
+	if t.started {
+		t.mu.Unlock()
+		panic("metrics: Timeline column added after first tick")
+	}
+	t.cols = append(t.cols, c)
+	t.mu.Unlock()
+}
+
+// Value adds a point-in-time column (gauges: queue depth, cache fill).
+func (t *Timeline) Value(name string, read func() float64) {
+	t.addCol(&column{name: name, kind: colValue, read: read})
+}
+
+// Delta adds a column reporting the change in read since the previous row
+// (per-interval request, eviction, rotation counts).
+func (t *Timeline) Delta(name string, read func() float64) {
+	t.addCol(&column{name: name, kind: colDelta, read: read})
+}
+
+// Rate adds a column reporting the change in read since the previous row
+// divided by the elapsed seconds (throughput).
+func (t *Timeline) Rate(name string, read func() float64) {
+	t.addCol(&column{name: name, kind: colRate, read: read})
+}
+
+// RatioOfDeltas adds a column reporting Δnum/Δden across the interval (the
+// per-interval hit ratio), 0 when the denominator did not move.
+func (t *Timeline) RatioOfDeltas(name string, num, den func() float64) {
+	t.addCol(&column{name: name, kind: colRatio, read: num, read2: den})
+}
+
+// Quantile adds a column reporting the q-quantile of the samples h
+// observed during the interval (not cumulatively).
+func (t *Timeline) Quantile(name string, h *Histogram, q float64) {
+	t.addCol(&column{name: name, kind: colQuantile, hist: h, q: q})
+}
+
+// Err returns the first write error encountered by a tick.
+func (t *Timeline) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Tick samples every column and appends one CSV row tagged with reason.
+// The first call also writes the header. Baselines for delta, rate, ratio
+// and quantile columns are primed at construction state, so the first
+// row's deltas cover everything since the timeline was built.
+func (t *Timeline) Tick(reason string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.started {
+		t.started = true
+		t.buf = append(t.buf[:0], "row,elapsed_s,reason"...)
+		for _, c := range t.cols {
+			t.buf = append(t.buf, ',')
+			t.buf = append(t.buf, c.name...)
+		}
+		t.buf = append(t.buf, '\n')
+		if err := t.flushRow(); err != nil {
+			return err
+		}
+	}
+	now := t.clock()
+	dt := (now - t.lastT).Seconds()
+	t.buf = strconv.AppendInt(t.buf[:0], int64(t.row), 10)
+	t.buf = append(t.buf, ',')
+	t.buf = strconv.AppendFloat(t.buf, now.Seconds(), 'f', 3, 64)
+	t.buf = append(t.buf, ',')
+	t.buf = append(t.buf, reason...)
+	for _, c := range t.cols {
+		t.buf = append(t.buf, ',')
+		t.buf = strconv.AppendFloat(t.buf, c.sample(dt), 'g', -1, 64)
+	}
+	t.buf = append(t.buf, '\n')
+	t.row++
+	t.lastT = now
+	return t.flushRow()
+}
+
+// flushRow writes the assembled buffer, recording the first error.
+func (t *Timeline) flushRow() error {
+	_, err := t.w.Write(t.buf)
+	if err != nil && t.err == nil {
+		t.err = err
+	}
+	return err
+}
+
+// sample reads one column's value for a row spanning dt seconds.
+func (c *column) sample(dt float64) float64 {
+	switch c.kind {
+	case colValue:
+		return c.read()
+	case colDelta:
+		v := c.read()
+		d := v - c.last
+		c.last = v
+		return d
+	case colRate:
+		v := c.read()
+		d := v - c.last
+		c.last = v
+		if dt <= 0 {
+			return 0
+		}
+		return d / dt
+	case colRatio:
+		n, d := c.read(), c.read2()
+		dn, dd := n-c.last, d-c.last2
+		c.last, c.last2 = n, d
+		if dd == 0 {
+			return 0
+		}
+		return dn / dd
+	default: // colQuantile
+		c.hist.Snapshot(&c.cur)
+		c.diff = c.cur
+		c.diff.Sub(&c.prev)
+		c.prev = c.cur
+		return c.diff.Quantile(c.q)
+	}
+}
+
+// Start launches the sampling goroutine: one row per interval, plus an
+// immediate row whenever the rotations reading (typically the front's
+// completed-window count; nil to disable) changes, observed at a quarter
+// of the interval. The returned stop function emits a last row tagged
+// "final" and waits for the goroutine to exit; it must be called at most
+// once.
+func (t *Timeline) Start(interval time.Duration, rotations func() float64) (stop func()) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	poll := interval / 4
+	if poll < time.Millisecond {
+		poll = time.Millisecond
+	}
+	t.mu.Lock()
+	t.stop = make(chan struct{})
+	t.done = make(chan struct{})
+	stopCh, doneCh, clock := t.stop, t.done, t.clock
+	t.mu.Unlock()
+	go func() {
+		defer close(doneCh)
+		lastRot := 0.0
+		if rotations != nil {
+			lastRot = rotations()
+		}
+		lastRow := clock()
+		ticker := time.NewTicker(poll)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stopCh:
+				return
+			case <-ticker.C:
+				now := clock()
+				if rotations != nil {
+					if rot := rotations(); rot != lastRot {
+						lastRot = rot
+						lastRow = now
+						_ = t.Tick("rotation")
+						continue
+					}
+				}
+				// The poll fires every interval/4; the half-poll slack keeps
+				// a row from slipping a whole extra poll past its due time.
+				if now-lastRow >= interval-poll/2 {
+					lastRow = now
+					_ = t.Tick("interval")
+				}
+			}
+		}
+	}()
+	return func() {
+		close(stopCh)
+		<-doneCh
+		_ = t.Tick("final")
+	}
+}

@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTimelineScriptedClock pins the CSV format with a deterministic clock
+// and hand-computed column values of every kind.
+func TestTimelineScriptedClock(t *testing.T) {
+	var b strings.Builder
+	tl := NewTimeline(&b)
+	ticks := []time.Duration{250 * time.Millisecond, 500 * time.Millisecond, time.Second}
+	i := -1
+	tl.SetClock(func() time.Duration { i++; return ticks[i] })
+
+	var reqs, hits Counter
+	var depth Gauge
+	var lat Histogram
+	tl.Value("outq", func() float64 { return float64(depth.Value()) })
+	tl.Delta("requests", func() float64 { return float64(reqs.Value()) })
+	tl.Rate("rps", func() float64 { return float64(reqs.Value()) })
+	tl.RatioOfDeltas("hit_ratio", func() float64 { return float64(hits.Value()) }, func() float64 { return float64(reqs.Value()) })
+	tl.Quantile("lat_p50", &lat, 0.5)
+
+	reqs.Add(100)
+	hits.Add(80)
+	depth.Set(7)
+	lat.Observe(2)
+	lat.Observe(2)
+	lat.Observe(2)
+	if err := tl.Tick("interval"); err != nil {
+		t.Fatal(err)
+	}
+	reqs.Add(50)
+	hits.Add(10)
+	depth.Set(3)
+	lat.Observe(64) // bucket [64, 79]; a 1-sample interval quantile lands on hi
+	if err := tl.Tick("rotation"); err != nil {
+		t.Fatal(err)
+	}
+	// Third row: nothing changed → zero deltas, empty interval histogram.
+	if err := tl.Tick("final"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tl.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := `row,elapsed_s,reason,outq,requests,rps,hit_ratio,lat_p50
+0,0.250,interval,7,100,400,0.8,2
+1,0.500,rotation,3,50,200,0.2,79
+2,1.000,final,3,0,0,0,0
+`
+	if got := b.String(); got != want {
+		t.Fatalf("timeline mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestTimelineAddColAfterTick(t *testing.T) {
+	tl := NewTimeline(&strings.Builder{})
+	if err := tl.Tick("interval"); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("adding a column after the first tick should panic")
+		}
+	}()
+	tl.Value("late", func() float64 { return 0 })
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n++
+	return 0, &timeoutErr{}
+}
+
+type timeoutErr struct{}
+
+func (*timeoutErr) Error() string { return "sink failed" }
+
+func TestTimelineWriteError(t *testing.T) {
+	w := &failWriter{}
+	tl := NewTimeline(w)
+	if err := tl.Tick("interval"); err == nil {
+		t.Fatal("expected write error")
+	}
+	if tl.Err() == nil {
+		t.Fatal("Err() should report the first write error")
+	}
+}
+
+// TestTimelineStart drives the sampling goroutine with a real clock at a
+// tiny interval and checks interval, rotation and final rows all appear.
+func TestTimelineStart(t *testing.T) {
+	var b strings.Builder
+	var mu chanWriter
+	mu.b = &b
+	tl := NewTimeline(&mu)
+	var reqs Counter
+	tl.Delta("requests", func() float64 { return float64(reqs.Value()) })
+	var rot Counter
+	stop := tl.Start(20*time.Millisecond, func() float64 { return float64(rot.Value()) })
+
+	time.Sleep(50 * time.Millisecond) // at least one interval row
+	rot.Inc()                         // trigger a rotation row
+	time.Sleep(30 * time.Millisecond)
+	stop()
+
+	out := mu.String()
+	if !strings.Contains(out, ",interval,") {
+		t.Errorf("no interval row in:\n%s", out)
+	}
+	if !strings.Contains(out, ",rotation,") {
+		t.Errorf("no rotation row in:\n%s", out)
+	}
+	if !strings.Contains(out, ",final,") {
+		t.Errorf("no final row in:\n%s", out)
+	}
+	if err := tl.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// chanWriter guards a strings.Builder for the goroutine test (the sampler
+// writes concurrently with the main goroutine's stop/read).
+type chanWriter struct {
+	mu sync.Mutex
+	b  *strings.Builder
+}
+
+func (w *chanWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *chanWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}

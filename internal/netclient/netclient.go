@@ -16,12 +16,36 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/hint"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
+
+// Package-wide client instrumentation: every Do on every connection lands
+// in one histogram of end-to-end batch round-trip times (encode, network,
+// server service, decode) and one batch counter. Process-wide like
+// wire.Metrics — an observation is two atomic bumps, nothing per
+// connection to configure.
+var (
+	batchRTT     metrics.Histogram
+	batchesTotal metrics.Counter
+)
+
+// BatchRTT exposes the cumulative round-trip histogram (nanoseconds per
+// Do batch) for summaries and timelines.
+func BatchRTT() *metrics.Histogram { return &batchRTT }
+
+// RegisterMetrics registers the client-side series on r under the
+// clic_netclient_* names.
+func RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("clic_netclient_batches_total", "Request batches completed by in-process clients.",
+		func() float64 { return float64(batchesTotal.Value()) })
+	r.RegisterHistogram("clic_netclient_batch_rtt_ns", "End-to-end batch round-trip time in nanoseconds.", &batchRTT)
+}
 
 // Conn is one client connection to a cache server. Not safe for concurrent
 // use; the replay drivers give each goroutine its own Conn.
@@ -123,6 +147,7 @@ func (c *Conn) Announce(keys []string) error {
 // are ignored. The returned Results reuses the connection's buffers and is
 // valid until the next Do.
 func (c *Conn) Do(reqs []trace.Request) (wire.Results, error) {
+	start := time.Now()
 	c.enc = wire.AppendBatch(c.enc[:0], reqs)
 	if err := wire.WriteFrame(c.bw, c.enc); err != nil {
 		return wire.Results{}, err
@@ -142,6 +167,8 @@ func (c *Conn) Do(reqs []trace.Request) (wire.Results, error) {
 	if len(res.Hits) != len(reqs) {
 		return wire.Results{}, fmt.Errorf("netclient: %d results for %d requests", len(res.Hits), len(reqs))
 	}
+	batchRTT.Observe(uint64(time.Since(start)))
+	batchesTotal.Inc()
 	return res, nil
 }
 

@@ -12,8 +12,18 @@
 // sim.ClientStat bookkeeping so loopback replays are comparable to the
 // in-process path.
 //
-// A second, optional HTTP listener exposes live stats (hits, misses,
-// outqueue depth, per-window hint statistics) as JSON at /stats.
+// A second, optional HTTP listener is the observability surface: live
+// stats as JSON at /stats (front aggregate, per-shard breakdown, per-client
+// accounting, hint-set window statistics, batch-latency summaries), every
+// layer's series in the Prometheus text format at /metrics (cache, shards,
+// wire codec, server connections and batch service times, in-process
+// netclient RTTs), and the usual pprof endpoints under /debug/pprof/. A
+// timeline recorder (StartTimeline) can additionally stream per-interval
+// CSV rows — hit ratio, throughput, outqueue depth, eviction and rotation
+// counts, batch-latency quantiles — to a file, sampling on a wall-clock
+// interval and on window rotations. The instrumentation rides on counters
+// the request path already maintained, so the zero-allocation batch loop
+// stays allocation-free with metrics enabled.
 package server
 
 import (
@@ -27,9 +37,11 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hint"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -78,6 +90,14 @@ type Server struct {
 	conns   map[net.Conn]struct{}
 	closed  bool
 
+	// Observability: the registry behind /metrics plus the server-layer
+	// instruments (the cache, wire and netclient layers keep their own).
+	registry     *metrics.Registry
+	connsTotal   metrics.Counter
+	connsActive  metrics.Gauge
+	batchesTotal metrics.Counter
+	batchNs      metrics.Histogram
+
 	wg sync.WaitGroup
 }
 
@@ -91,13 +111,15 @@ func New(cfg Config) *Server {
 	if maxKeys <= 0 {
 		maxKeys = DefaultMaxHintKeys
 	}
-	return &Server{
+	s := &Server{
 		cache:       core.NewSharded(cfg.Cache, shards),
 		maxHintKeys: maxKeys,
 		dict:        hint.NewDict(),
 		clients:     make(map[string]*clientTotals),
 		conns:       make(map[net.Conn]struct{}),
 	}
+	s.buildRegistry()
+	return s
 }
 
 // Cache exposes the backing sharded front (read-mostly use: stats, tests).
@@ -130,6 +152,7 @@ func (s *Server) ListenAdmin(addr string) error {
 	s.adminLn = ln
 	mux := http.NewServeMux()
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	// Live profiling rides on the admin listener: /debug/pprof/ for the
 	// index, plus the usual profile endpoints. The page-request listener
 	// stays pure protocol.
@@ -269,7 +292,10 @@ func (s *Server) mergeClient(name string, reads, readHits uint64) {
 
 // handle runs one connection's request loop.
 func (s *Server) handle(conn net.Conn) {
+	s.connsTotal.Inc()
+	s.connsActive.Add(1)
 	defer func() {
+		s.connsActive.Add(-1)
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -351,6 +377,7 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			remap = s.intern(remap, keys)
 		case wire.TypeBatch:
+			batchStart := time.Now()
 			reqs, err = wire.DecodeBatch(payload, reqs)
 			if err != nil {
 				fail(err.Error())
@@ -394,6 +421,11 @@ func (s *Server) handle(conn net.Conn) {
 			if err := bw.Flush(); err != nil {
 				return
 			}
+			// Batch service time spans decode through response flush — the
+			// server-side share of the client's observed RTT. Two atomic
+			// bumps; the loop stays allocation-free.
+			s.batchNs.Observe(uint64(time.Since(batchStart)))
+			s.batchesTotal.Inc()
 		default:
 			fail(fmt.Sprintf("unexpected frame type %d", t))
 			return
@@ -425,10 +457,35 @@ type WindowStatSnapshot struct {
 // merged across shards in partitioned mode, the shared learner's view in
 // global mode.
 type Snapshot struct {
-	Policy      string               `json:"policy"`
-	Core        core.Stats           `json:"core"`
+	Policy string     `json:"policy"`
+	Core   core.Stats `json:"core"`
+	// Shards is the per-shard breakdown of the same counters Core sums,
+	// indexed by shard — the load-skew view of the partition hash.
+	Shards []core.ShardStats `json:"shards"`
+	// Connections is the page-request connection accounting.
+	Connections ConnectionsSnapshot `json:"connections"`
+	// Histograms summarises the server's cumulative latency histograms.
+	Histograms  HistogramsSnapshot   `json:"histograms"`
 	Clients     []ClientSnapshot     `json:"clients"`
 	WindowStats []WindowStatSnapshot `json:"windowStats,omitempty"`
+}
+
+// ConnectionsSnapshot is the connection accounting at snapshot time.
+type ConnectionsSnapshot struct {
+	Active int64  `json:"active"`
+	Total  uint64 `json:"total"`
+}
+
+// HistogramsSnapshot carries cumulative histogram summaries: the server's
+// batch service time, and (for in-process clients — loopback replays,
+// tests) the netclient batch round-trip time. Each summary's unit is
+// nanoseconds.
+type HistogramsSnapshot struct {
+	BatchServiceNs metrics.Summary `json:"batchServiceNs"`
+	// Batches is the number of batches served (BatchServiceNs.Count once
+	// quiescent, kept separate because the histogram lags the counter by
+	// in-flight batches).
+	Batches uint64 `json:"batches"`
 }
 
 // Snapshot assembles the admin view. topHints bounds the per-window hint
@@ -437,6 +494,18 @@ func (s *Server) Snapshot(topHints int) Snapshot {
 	snap := Snapshot{
 		Policy: s.cache.Name(),
 		Core:   s.cache.Stats(),
+		Connections: ConnectionsSnapshot{
+			Active: s.connsActive.Value(),
+			Total:  s.connsTotal.Value(),
+		},
+		Histograms: HistogramsSnapshot{
+			BatchServiceNs: s.batchNs.Summary(),
+			Batches:        s.batchesTotal.Value(),
+		},
+	}
+	snap.Shards = make([]core.ShardStats, s.cache.Shards())
+	for i := range snap.Shards {
+		snap.Shards[i] = s.cache.ShardStats(i)
 	}
 	var ws []core.HintStat
 	if topHints > 0 {

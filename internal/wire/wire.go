@@ -38,8 +38,44 @@ import (
 	"io"
 
 	"repro/internal/hint"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
+
+// Metrics counts traffic through the frame codec, process-wide: frames and
+// on-the-wire bytes (length prefix included) in each direction. The
+// counters are plain atomics bumped inline in Read/WriteFrame — no
+// registration or configuration needed, and no allocation on the frame
+// path. RegisterMetrics exposes them on a registry.
+var Metrics struct {
+	FramesEncoded metrics.Counter
+	BytesEncoded  metrics.Counter
+	FramesDecoded metrics.Counter
+	BytesDecoded  metrics.Counter
+}
+
+// RegisterMetrics registers the codec counters on r under the
+// clic_wire_* names.
+func RegisterMetrics(r *metrics.Registry) {
+	r.CounterFunc("clic_wire_frames_total", "Frames through the codec by direction.",
+		func() float64 { return float64(Metrics.FramesEncoded.Value()) }, "dir", "encoded")
+	r.CounterFunc("clic_wire_frames_total", "Frames through the codec by direction.",
+		func() float64 { return float64(Metrics.FramesDecoded.Value()) }, "dir", "decoded")
+	r.CounterFunc("clic_wire_bytes_total", "Wire bytes (payload plus length prefix) by direction.",
+		func() float64 { return float64(Metrics.BytesEncoded.Value()) }, "dir", "encoded")
+	r.CounterFunc("clic_wire_bytes_total", "Wire bytes (payload plus length prefix) by direction.",
+		func() float64 { return float64(Metrics.BytesDecoded.Value()) }, "dir", "decoded")
+}
+
+// uvarintLen returns the encoded size of n as a uvarint.
+func uvarintLen(n uint64) uint64 {
+	l := uint64(1)
+	for n >= 0x80 {
+		n >>= 7
+		l++
+	}
+	return l
+}
 
 // Version is the protocol version exchanged in Hello/HelloAck.
 const Version = 1
@@ -104,8 +140,12 @@ func WriteFrame(w *bufio.Writer, payload []byte) error {
 	if err := w.WriteByte(byte(n)); err != nil {
 		return err
 	}
-	_, err := w.Write(payload)
-	return err
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	Metrics.FramesEncoded.Inc()
+	Metrics.BytesEncoded.Add(uvarintLen(uint64(len(payload))) + uint64(len(payload)))
+	return nil
 }
 
 // ReadFrame reads one frame's payload, reusing buf when it is large enough.
@@ -128,6 +168,8 @@ func ReadFrame(r *bufio.Reader, buf []byte) ([]byte, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, fmt.Errorf("wire: reading frame payload: %w", err)
 	}
+	Metrics.FramesDecoded.Inc()
+	Metrics.BytesDecoded.Add(uvarintLen(n) + n)
 	return buf, nil
 }
 
