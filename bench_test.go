@@ -18,6 +18,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/experiments"
@@ -476,6 +477,63 @@ func BenchmarkServeLoopbackOwner(b *testing.B) {
 		}
 		res = r
 		if err := srv.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportServeMetrics(b, t, res)
+}
+
+// BenchmarkClusterDirectLoopback is the cluster suite's baseline: the
+// whole multi-client stream into ONE loopback server via netclient — the
+// same path as BenchmarkServeLoopback, recorded under the cluster suite's
+// name so BENCH_cluster.json carries its own baseline.
+func BenchmarkClusterDirectLoopback(b *testing.B) {
+	t := serveBenchTrace(b)
+	b.ResetTimer()
+	var res sim.Result
+	for i := 0; i < b.N; i++ {
+		srv := server.New(server.Config{Cache: serveBenchConfig(), Shards: serveBenchShards})
+		if err := srv.Start("127.0.0.1:0"); err != nil {
+			b.Fatal(err)
+		}
+		r, err := netclient.Replay(srv.Addr().String(), t, netclient.ReplayOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+		if err := srv.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportServeMetrics(b, t, res)
+}
+
+// BenchmarkClusterRouterLoopback is the same stream through a 3-node
+// merging cluster: per-client routers split every batch by consistent
+// hash across three loopback servers sharing the baseline's total
+// capacity and window, with window summaries exchanged mid-flight. The
+// delta against BenchmarkClusterDirectLoopback prices the router fan-out
+// and the merged-learning exchange.
+func BenchmarkClusterRouterLoopback(b *testing.B) {
+	t := serveBenchTrace(b)
+	b.ResetTimer()
+	var res sim.Result
+	for i := 0; i < b.N; i++ {
+		h, err := cluster.StartHarness(cluster.HarnessConfig{
+			Nodes:   3,
+			Cache:   serveBenchConfig(),
+			Shards:  serveBenchShards,
+			Merging: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := h.Replay(t, cluster.ReplayOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = r
+		if err := h.Close(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -11,13 +11,21 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchrecord [-bench regexp] [-benchtime 1s] [-o BENCH_core.json]
-//	go run ./cmd/benchrecord -check BENCH_core.json   # assert nonzero reqs/s
+//	go run ./cmd/benchrecord [-suite core|cluster] [-bench regexp] [-benchtime 1s] [-o FILE]
+//	go run ./cmd/benchrecord -check BENCH_core.json                  # assert nonzero reqs/s
+//	go run ./cmd/benchrecord -suite cluster -check BENCH_cluster.json
+//
+// -suite selects a preset: "core" (the default) runs the engine and
+// serving benchmarks into BENCH_core.json; "cluster" runs the
+// distributed-front benchmarks (BenchmarkCluster*: the whole stream into
+// one loopback node versus routed across a 3-node merging cluster) into
+// BENCH_cluster.json. -bench and -o override the preset's regexp and
+// output file.
 //
 // With -check, no benchmarks run: the named file is loaded and benchrecord
-// exits nonzero unless every recorded engine benchmark shows nonzero
-// throughput — the CI assertion that both engine modes actually moved
-// requests.
+// exits nonzero unless the suite's required benchmarks are present and
+// every recorded benchmark of the suite's family shows nonzero throughput
+// — the CI assertion that the measured paths actually moved requests.
 package main
 
 import (
@@ -56,20 +64,60 @@ type Record struct {
 	Results    []Result `json:"results"`
 }
 
+// suite is one benchmark preset: what to run, where to record it, and
+// what -check demands of the record.
+type suite struct {
+	bench    string   // go test -bench regexp
+	out      string   // default output file
+	family   string   // name substring whose results must show nonzero reqs/s
+	required []string // benchmarks that must be present
+}
+
+var suites = map[string]suite{
+	"core": {
+		bench:  "Sharded|ServeClients|ServeLoopback",
+		out:    "BENCH_core.json",
+		family: "Sharded",
+		required: []string{
+			"BenchmarkShardedPartitioned", "BenchmarkShardedSingleOwner", "BenchmarkShardedInstrumented",
+		},
+	},
+	"cluster": {
+		bench:  "^BenchmarkCluster",
+		out:    "BENCH_cluster.json",
+		family: "Cluster",
+		required: []string{
+			"BenchmarkClusterDirectLoopback", "BenchmarkClusterRouterLoopback",
+		},
+	},
+}
+
 func main() {
-	bench := flag.String("bench", "Sharded|ServeClients|ServeLoopback",
-		"benchmark name regexp passed to go test -bench")
+	suiteName := flag.String("suite", "core", "benchmark preset: core|cluster")
+	bench := flag.String("bench", "", "benchmark name regexp passed to go test -bench (default: the suite's)")
 	benchtime := flag.String("benchtime", "1s", "passed to go test -benchtime")
-	out := flag.String("o", "BENCH_core.json", "output file")
+	out := flag.String("o", "", "output file (default: the suite's)")
 	check := flag.String("check", "", "check an existing record for nonzero throughput instead of benchmarking")
 	flag.Parse()
 
+	s, ok := suites[*suiteName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "benchrecord: unknown suite %q (want core or cluster)\n", *suiteName)
+		os.Exit(1)
+	}
+	if *bench == "" {
+		*bench = s.bench
+	}
+	if *out == "" {
+		*out = s.out
+	}
+
 	if *check != "" {
-		if err := checkRecord(*check); err != nil {
+		if err := checkRecord(*check, s); err != nil {
 			fmt.Fprintln(os.Stderr, "benchrecord:", err)
 			os.Exit(1)
 		}
-		fmt.Println("benchrecord: all engine benchmarks show nonzero throughput")
+		fmt.Printf("benchrecord: all %s benchmarks show nonzero throughput\n", *suiteName)
 		return
 	}
 
@@ -147,7 +195,7 @@ func parseLine(line string) (Result, bool) {
 			r.NsPerOp = v
 		case "reqs/s":
 			r.ReqsPerSec = v
-		case "hit_%":
+		case "hit_%", "hit-%":
 			r.HitPercent = v
 		case "B/op":
 			r.BytesPerOp = v
@@ -158,11 +206,12 @@ func parseLine(line string) (Result, bool) {
 	return r, true
 }
 
-// checkRecord loads a record and verifies every benchmark that reports a
-// reqs/s metric recorded nonzero throughput, and that both engine modes
-// (mutex-based BenchmarkShardedPartitioned and owner-based
-// BenchmarkShardedSingleOwner) are present.
-func checkRecord(path string) error {
+// checkRecord loads a record and verifies every benchmark of the suite's
+// family recorded nonzero throughput and that the suite's required
+// benchmarks are all present (for core: both engine modes plus the
+// instrumented run; for cluster: the direct baseline and the routed
+// cluster).
+func checkRecord(path string, s suite) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -174,13 +223,13 @@ func checkRecord(path string) error {
 	seen := map[string]bool{}
 	for _, r := range rec.Results {
 		seen[r.Name] = true
-		if strings.Contains(r.Name, "Sharded") && r.ReqsPerSec <= 0 {
+		if strings.Contains(r.Name, s.family) && r.ReqsPerSec <= 0 {
 			return fmt.Errorf("%s recorded %v reqs/s, want > 0", r.Name, r.ReqsPerSec)
 		}
 	}
-	for _, want := range []string{"BenchmarkShardedPartitioned", "BenchmarkShardedSingleOwner", "BenchmarkShardedInstrumented"} {
+	for _, want := range s.required {
 		if !seen[want] {
-			return fmt.Errorf("record is missing %s (both engine modes and the instrumented run must be measured)", want)
+			return fmt.Errorf("record is missing %s (the suite's required benchmarks must all be measured)", want)
 		}
 	}
 	return nil

@@ -10,12 +10,33 @@
 //	clicserve -addr :7070 -cache 18000 -shards 8 -stats global
 //
 // -stats selects where the sharded front learns its hint statistics:
-// "partitioned" (each shard privately, over a W/N window — the default) or
+// "partitioned" (each shard privately, over a W/N window — the default),
 // "global" (all shards feed one shared lock-striped learner over the full
-// window W, so the priority model is cache-wide). -engine selects the
-// front's concurrency architecture: "mutex" (a lock per shard — the
-// default) or "owner" (one goroutine owning each shard, fed request frames
-// by the connection handlers). The admin /stats JSON reports both modes.
+// window W, so the priority model is cache-wide), or "merged" (global plus
+// the cluster summary exchange below). -engine selects the front's
+// concurrency architecture: "mutex" (a lock per shard — the default) or
+// "owner" (one goroutine owning each shard, fed request frames by the
+// connection handlers). The admin /stats JSON reports both modes.
+//
+// Several clicserve processes form a cluster (internal/cluster): clients
+// route requests across the nodes by consistent hash (clicsim -connect
+// with the address list), and -cluster makes the nodes exchange window
+// summaries so each node's learner approximates the cluster-wide request
+// stream:
+//
+//	clicserve -addr :7070 -cluster -node-id node0 -peers :7071,:7072
+//	clicserve -addr :7071 -cluster -node-id node1 -peers :7070,:7072
+//	clicserve -addr :7072 -cluster -node-id node2 -peers :7070,:7071
+//
+// -cluster implies -stats merged. At every window rotation the node ships
+// its window's hint counters to every -peers address (lossy gossip over
+// the ordinary wire protocol — an unreachable peer costs summaries, never
+// correctness) and folds the summaries it received into its own
+// priorities. -node-id names this node in published summaries and the
+// admin cluster accounting; -local-bias in [0,1) weights the node's own
+// window estimate over the cluster-merged one. Run each node's share of
+// the cluster-wide cache/window/outqueue budget (e.g. a third each for
+// three nodes); the in-process harness splits them the same way.
 //
 // With -admin set, live statistics (the front aggregate, the per-shard
 // breakdown, connection accounting, batch-latency summaries, the current
@@ -39,9 +60,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/prof"
 	"repro/internal/report"
@@ -59,8 +82,12 @@ func main() {
 		window     = flag.Int("window", 0, "CLIC: statistics window W (0 = default)")
 		decay      = flag.Float64("r", 0, "CLIC: decay parameter r (0 = default 1.0)")
 		noutq      = flag.Int("noutq", 0, "CLIC: outqueue entries (0 = 5 per cache page)")
-		stats      = flag.String("stats", "partitioned", "statistics learning mode across shards (partitioned|global)")
+		stats      = flag.String("stats", "partitioned", "statistics learning mode across shards (partitioned|global|merged)")
 		engineFlag = flag.String("engine", "mutex", "shard concurrency engine (mutex|owner)")
+		clusterOn  = flag.Bool("cluster", false, "exchange window summaries with -peers (implies -stats merged)")
+		peers      = flag.String("peers", "", "-cluster: comma-separated peer page-request addresses")
+		nodeID     = flag.String("node-id", "", "-cluster: this node's name in published summaries (default \"node\")")
+		localBias  = flag.Float64("local-bias", 0, "-cluster: weight of the node-local window estimate in [0,1)")
 		timeline   = flag.String("timeline", "", "append per-interval metrics rows (CSV) to this file")
 		interval   = flag.Duration("metrics-interval", time.Second, "timeline sampling interval")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (stopped at shutdown)")
@@ -80,13 +107,36 @@ func main() {
 		fatal(err)
 	}
 
+	// Cluster mode: merged statistics plus a gossip sender shipping each
+	// closed window's summary to every peer.
+	var gossip *cluster.Gossip
+	scfg := server.Config{
+		Node: *nodeID,
+	}
+	if *clusterOn {
+		statsMode = core.StatsMerged
+		var peerAddrs []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerAddrs = append(peerAddrs, p)
+			}
+		}
+		if len(peerAddrs) == 0 {
+			fatal(fmt.Errorf("-cluster needs at least one -peers address"))
+		}
+		gossip = cluster.NewGossip(peerAddrs, 0)
+		scfg.OnSummary = gossip.Publish
+	} else if *peers != "" || *nodeID != "" {
+		fatal(fmt.Errorf("-peers and -node-id need -cluster"))
+	}
+
 	// Dock the capacity 1% for CLIC's tracking structures (§6.1), like
 	// every simulated CLIC run, so server hit ratios compare directly to
 	// the in-process grid at the same -cache value.
-	srv := server.New(server.Config{
-		Cache:  core.Config{Capacity: sim.ClicCapacity(*cache), TopK: *topk, Window: *window, R: *decay, Noutq: *noutq, Stats: statsMode, Engine: engineMode},
-		Shards: *shards,
-	})
+	scfg.Cache = core.Config{Capacity: sim.ClicCapacity(*cache), TopK: *topk, Window: *window, R: *decay,
+		Noutq: *noutq, Stats: statsMode, Engine: engineMode, LocalBias: *localBias}
+	scfg.Shards = *shards
+	srv := server.New(scfg)
 	if err := srv.Listen(*addr); err != nil {
 		fatal(err)
 	}
@@ -121,6 +171,10 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "clicserve: %s front with %s pages serving on %s\n",
 		srv.Cache().Name(), report.Num(*cache), srv.Addr())
+	if gossip != nil {
+		fmt.Fprintf(os.Stderr, "clicserve: cluster node %q gossiping window summaries to %s\n",
+			srv.Node(), *peers)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -136,6 +190,13 @@ func main() {
 		if err := srv.Close(); err != nil {
 			fatal(err)
 		}
+	}
+	if gossip != nil {
+		// Drain buffered summaries before reporting; the cache (and so the
+		// rotation source) is already closed.
+		gossip.Close()
+		fmt.Fprintf(os.Stderr, "clicserve: gossip published %d summaries, dropped %d\n",
+			gossip.Published(), gossip.Dropped())
 	}
 	// The cache and its counters survive Close, so the final timeline row
 	// still reads the end-of-run state.

@@ -33,7 +33,18 @@
 // the trace file to a running server with one concurrent connection per
 // trace client (one goroutine each) and reports per-client and total hit
 // ratios measured from the server's responses; -limit caps the replayed
-// request count and -batch sets the requests per wire frame.
+// request count and -batch sets the requests per wire frame. Every address
+// is probed with a throwaway handshake before the replay starts, so a bad
+// address or an incompatible server fails immediately with a clear error
+// instead of mid-replay.
+//
+// -connect also takes a comma-separated address list — a cluster
+// (cmd/clicserve -cluster, internal/cluster). The replay then routes every
+// request to its owning node by consistent hash (one router per trace
+// client). Placement is keyed by the address strings, so every client of a
+// cluster should list the same addresses:
+//
+//	clicsim -connect :7070,:7071,:7072 -trace traces/DB2_C60.trc
 package main
 
 import (
@@ -45,6 +56,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/metrics"
@@ -73,7 +85,7 @@ func main() {
 		concurrent = flag.Bool("concurrent", false, "drive the sharded CLIC front with one goroutine per client (requires -shards > 1)")
 		engineFlag = flag.String("engine", "mutex", "CLIC sharded front: concurrency engine (mutex|owner)")
 		serveAddr  = flag.String("serve", "", "run as a network cache server on this address instead of simulating")
-		connect    = flag.String("connect", "", "replay the trace against a cache server at this address")
+		connect    = flag.String("connect", "", "replay the trace against a cache server (or a comma-separated cluster of servers) at these addresses")
 		batch      = flag.Int("batch", 0, "-connect: requests per wire frame (0 = default)")
 		limit      = flag.Int("limit", 0, "-connect: replay at most this many requests (0 = all)")
 		timeline   = flag.String("timeline", "", "-concurrent: write per-interval metrics rows (CSV) to this file")
@@ -109,7 +121,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *connect != "" {
-		replay(*connect, *tracePath, netclient.ReplayOptions{BatchSize: *batch, Limit: *limit}, *perClient)
+		replay(strings.Split(*connect, ","), *tracePath, *batch, *limit, *perClient)
 		return
 	}
 	if *concurrent && *shards < 2 {
@@ -269,15 +281,46 @@ func serve(addr string, shards int, sizes []int, cfg core.Config) {
 	}
 }
 
-// replay streams the trace file to a cache server (one connection per
-// trace client) and reports the hit ratios the server's responses imply.
-func replay(addr, path string, opt netclient.ReplayOptions, perClient bool) {
-	res, err := netclient.ReplayFile(addr, path, opt)
+// replay streams the trace file to a cache server — or, with several
+// addresses, routes it across a cluster by consistent hash — and reports
+// the hit ratios the servers' responses imply. Every address is validated
+// with a probe handshake before any request is replayed.
+func replay(addrs []string, path string, batch, limit int, perClient bool) {
+	for i, addr := range addrs {
+		addrs[i] = strings.TrimSpace(addr)
+		if addrs[i] == "" {
+			fatal(fmt.Errorf("-connect: empty address in list"))
+		}
+		if err := netclient.Probe(addrs[i]); err != nil {
+			fatal(fmt.Errorf("no usable cache server at %q: %w", addrs[i], err))
+		}
+	}
+	var (
+		res sim.Result
+		err error
+	)
+	if len(addrs) == 1 {
+		// Single server: stream from disk in constant memory.
+		res, err = netclient.ReplayFile(addrs[0], path, netclient.ReplayOptions{BatchSize: batch, Limit: limit})
+	} else {
+		// Cluster: the router splits batches by page owner, which needs the
+		// in-memory trace (placement is per request, not per stream).
+		var t *trace.Trace
+		t, err = trace.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		nodes := make([]cluster.Node, len(addrs))
+		for i, addr := range addrs {
+			nodes[i] = cluster.Node{Name: addr, Addr: addr}
+		}
+		res, err = cluster.Replay(nodes, t, cluster.ReplayOptions{BatchSize: batch, Limit: limit})
+	}
 	if err != nil {
 		fatal(err)
 	}
 	tbl := report.NewTable(fmt.Sprintf("networked replay — trace %s against %s at %s (%s requests)",
-		res.Trace, res.Policy, addr, report.Num(res.Requests)),
+		res.Trace, res.Policy, strings.Join(addrs, ","), report.Num(res.Requests)),
 		"client", "reads", "read hits", "hit ratio")
 	if perClient && len(res.PerClient) > 1 {
 		for _, cs := range res.PerClient {

@@ -17,7 +17,11 @@
 // worker count.
 //
 // Beyond the paper's figures, -fig learner runs the partitioned-vs-global
-// statistics ablation for the sharded CLIC front (see core.Config.Stats).
+// statistics ablation for the sharded CLIC front (see core.Config.Stats),
+// and -fig cluster runs the distributed-CLIC ablation: a single node
+// against a 3-node consistent-hash cluster with and without cross-node
+// merged learning, replayed through the real router over loopback TCP
+// (internal/cluster).
 package main
 
 import (
@@ -33,7 +37,7 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "", "comma-separated figures to run: 2,3,5,6,7,8,9,10,11,ablations,learner,extension,zoo (empty = all)")
+		fig      = flag.String("fig", "", "comma-separated figures to run: 2,3,5,6,7,8,9,10,11,ablations,learner,cluster,extension,zoo (empty = all)")
 		scale    = flag.Float64("scale", 1, "request-count scale factor for quick runs")
 		cacheDir = flag.String("cache", "traces", "trace cache directory (empty = regenerate every run)")
 		mdPath   = flag.String("md", "", "also write all tables as markdown to this file")
@@ -115,6 +119,7 @@ func main() {
 			return out, nil
 		}},
 		{"learner", []string{experiments.LearnerTraceName}, one(env.AblationLearner)},
+		{"cluster", []string{experiments.ClusterTraceName}, one(env.AblationCluster)},
 		{"extension", tpccTraces, func() ([]*report.Table, error) {
 			t, err := env.ExtensionGeneralize()
 			if err != nil {

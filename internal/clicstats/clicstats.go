@@ -49,6 +49,12 @@ type Config struct {
 	// Stripes is the lock-stripe count of a Global learner; 0 selects
 	// DefaultStripes. Partitioned ignores it.
 	Stripes int
+	// LocalBias weights a Merged learner's node-local window estimate over
+	// the cluster-merged one when forming fresh priorities: 0 learns from
+	// the pure cluster-wide counters (the default), values toward 1 favour
+	// what this node saw itself. Must be in [0, 1). Partitioned and Global
+	// ignore it.
+	LocalBias float64
 }
 
 func (cfg Config) validate() {
@@ -100,6 +106,18 @@ type winStats struct {
 	n    uint64  // N(H): requests with this hint set this window
 	nr   uint64  // Nr(H): read re-references credited to this hint set
 	dsum float64 // sum of re-reference distances (D(H) = dsum/nr)
+}
+
+// WindowCounter is one hint set's raw window counters — the pre-division
+// inputs of Equation 2. It is the exchange currency of cluster-wide merged
+// learning: a rotation drains the window into these, a wire.SummaryEntry
+// is one of them keyed by canonical string instead of local hint ID, and
+// Merged.Absorb folds a peer's counters back in by summing them.
+type WindowCounter struct {
+	Hint hint.ID
+	N    uint64
+	Nr   uint64
+	Dsum float64
 }
 
 // rerefAux is the auxiliary state the adapted Space-Saving algorithm keeps

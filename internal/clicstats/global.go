@@ -54,6 +54,12 @@ type Global struct {
 	// window apart, but rotation must never interleave with itself).
 	rotateMu sync.Mutex
 	windows  atomic.Int64
+
+	// mergeFresh, when non-nil, replaces the default local-only fresh
+	// estimates at rotation with ones computed from the drained window
+	// counters plus whatever else the wrapper knows — Merged hooks in here
+	// to fold counters absorbed from cluster peers. Called under rotateMu.
+	mergeFresh func(local []WindowCounter) map[hint.ID]float64
 }
 
 type globalStripe struct {
@@ -186,21 +192,14 @@ func (g *Global) rotate() {
 	g.rotateMu.Lock()
 	defer g.rotateMu.Unlock()
 
-	fresh := make(map[hint.ID]float64)
-	if g.topk != nil {
-		for _, ctr := range g.topk.Drain() {
-			fresh[ctr.Key] = windowPriority(ctr.Count-ctr.Err, ctr.Val.nr, ctr.Val.dsum)
-		}
+	local := g.drainWindow()
+	var fresh map[hint.ID]float64
+	if g.mergeFresh != nil {
+		fresh = g.mergeFresh(local)
 	} else {
-		for i := range g.stripes {
-			st := &g.stripes[i]
-			st.mu.Lock()
-			stats := st.stats
-			st.stats = make(map[hint.ID]*winStats, len(stats))
-			st.mu.Unlock()
-			for h, ws := range stats {
-				fresh[h] = windowPriority(ws.n, ws.nr, ws.dsum)
-			}
+		fresh = make(map[hint.ID]float64, len(local))
+		for _, wc := range local {
+			fresh[wc.Hint] = windowPriority(wc.N, wc.Nr, wc.Dsum)
 		}
 	}
 
@@ -212,6 +211,29 @@ func (g *Global) rotate() {
 	blend(pr, fresh, g.cfg.R)
 	g.table.Store(&globalTable{pr: pr, epoch: old.epoch + 1})
 	g.windows.Add(1)
+}
+
+// drainWindow empties the current window's counters and returns them raw.
+// Callers hold rotateMu.
+func (g *Global) drainWindow() []WindowCounter {
+	var out []WindowCounter
+	if g.topk != nil {
+		for _, ctr := range g.topk.Drain() {
+			out = append(out, WindowCounter{Hint: ctr.Key, N: ctr.Count - ctr.Err, Nr: ctr.Val.nr, Dsum: ctr.Val.dsum})
+		}
+		return out
+	}
+	for i := range g.stripes {
+		st := &g.stripes[i]
+		st.mu.Lock()
+		stats := st.stats
+		st.stats = make(map[hint.ID]*winStats, len(stats))
+		st.mu.Unlock()
+		for h, ws := range stats {
+			out = append(out, WindowCounter{Hint: h, N: ws.n, Nr: ws.nr, Dsum: ws.dsum})
+		}
+	}
+	return out
 }
 
 // Priority implements Learner; it is wait-free.

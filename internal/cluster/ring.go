@@ -1,0 +1,135 @@
+// Package cluster scales the CLIC storage-server cache out to several
+// nodes: a consistent-hash ring assigns every page to one owning node, a
+// routing client splits request batches across the owners, and — the part
+// that matters for the paper's hint learning — the nodes exchange window
+// summaries so each node's merged learner (clicstats.Merged) approximates
+// the cluster-wide request stream instead of only its own slice of it.
+//
+// Placement divides the request stream, and with it the hint statistics:
+// a node that owns one third of the pages sees roughly one third of each
+// hint set's requests and re-references, so per-node priorities are
+// learned from samples N times smaller than a single node's. The summary
+// exchange restores the lost sample mass. At every window rotation a
+// merged-mode node publishes its window counters (keyed by canonical hint
+// strings — hint IDs are per-node interning orders) through an exchanger —
+// the in-process Coordinator or the TCP Gossip — and folds the summaries
+// it received into its own rotation, so the priorities driving eviction
+// approximate what a single node with the whole stream would have learned.
+//
+// The in-process Harness boots an N-node cluster on loopback listeners and
+// replays traces through the router, either deterministically
+// (ReplaySerial, for golden tests and ablations) or concurrently (Replay,
+// for stress and benchmarks).
+package cluster
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultVirtualNodes is the ring points placed per node when the caller
+// does not choose: enough that a 3–8 node ring balances within a few
+// percent, few enough that building the ring stays trivial.
+const DefaultVirtualNodes = 64
+
+// ringSalt decorrelates the ring's page hash from the in-node shard hash
+// (core.Sharded.ShardFor runs the same mixer on the raw page number; the
+// salt keeps ring position and shard index independent).
+const ringSalt = 0x9e3779b97f4a7c15
+
+// ringPoint is one virtual node: a position on the hash circle owned by a
+// physical node.
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// Ring is a consistent-hash ring mapping pages to nodes. Placement is a
+// pure function of the node names and the page number — ephemeral details
+// like listen addresses never influence it, so a cluster booted twice (or
+// described by two routers) places every page identically.
+type Ring struct {
+	names  []string
+	points []ringPoint
+}
+
+// NewRing builds a ring over the named nodes with vnodes virtual nodes
+// each (0 selects DefaultVirtualNodes). Names must be non-empty and
+// distinct; order does not affect placement.
+func NewRing(names []string, vnodes int) (*Ring, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one node")
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVirtualNodes
+	}
+	seen := make(map[string]bool, len(names))
+	r := &Ring{
+		names:  append([]string(nil), names...),
+		points: make([]ringPoint, 0, len(names)*vnodes),
+	}
+	for i, name := range names {
+		if name == "" {
+			return nil, fmt.Errorf("cluster: node %d has an empty name", i)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", name)
+		}
+		seen[name] = true
+		base := hashString(name)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: mix64(base + uint64(v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// A full-period hash collision across names is vanishingly rare but
+		// must still order deterministically.
+		return r.names[a.node] < r.names[b.node]
+	})
+	return r, nil
+}
+
+// Nodes returns the node count.
+func (r *Ring) Nodes() int { return len(r.names) }
+
+// Name returns the identity of node i.
+func (r *Ring) Name(i int) string { return r.names[i] }
+
+// Owner returns the node owning a page: the first ring point at or after
+// the page's position, wrapping at the top of the circle. Like the shard
+// hash, the page number is mixed first so sequential page ranges spread
+// instead of striping.
+func (r *Ring) Owner(page uint64) int {
+	h := mix64(page ^ ringSalt)
+	pts := r.points
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].hash >= h })
+	if i == len(pts) {
+		i = 0
+	}
+	return pts[i].node
+}
+
+// hashString is FNV-1a, the seed for a node's virtual-node positions.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// mix64 is the SplitMix64 finalizer (same mixer core.Sharded uses for
+// shard placement, decorrelated here via ringSalt and the FNV seed).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import "testing"
+
+// TestRingPlacementPure checks that placement depends only on the node
+// names, not their listing order: every page must map to the same name
+// through differently-ordered rings.
+func TestRingPlacementPure(t *testing.T) {
+	a, err := NewRing([]string{"node0", "node1", "node2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"node2", "node0", "node1"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for page := uint64(0); page < 10000; page++ {
+		if got, want := b.Name(b.Owner(page)), a.Name(a.Owner(page)); got != want {
+			t.Fatalf("page %d: reordered ring places on %s, original on %s", page, got, want)
+		}
+	}
+}
+
+// TestRingBalance checks that virtual nodes spread a sequential page range
+// over the nodes with no grossly starved or overloaded member.
+func TestRingBalance(t *testing.T) {
+	const nodes, pages = 3, 100000
+	r, err := NewRing([]string{"node0", "node1", "node2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, nodes)
+	for page := uint64(0); page < pages; page++ {
+		counts[r.Owner(page)]++
+	}
+	for i, c := range counts {
+		share := float64(c) / pages
+		if share < 0.15 || share > 0.55 {
+			t.Errorf("node %d owns %.1f%% of pages (counts %v)", i, 100*share, counts)
+		}
+	}
+}
+
+// TestRingStability checks the consistent-hashing property: removing one
+// node moves only that node's pages; every page owned by a survivor keeps
+// its owner.
+func TestRingStability(t *testing.T) {
+	full, err := NewRing([]string{"node0", "node1", "node2", "node3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing([]string{"node0", "node1", "node3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for page := uint64(0); page < 50000; page++ {
+		before := full.Name(full.Owner(page))
+		after := reduced.Name(reduced.Owner(page))
+		if before == "node2" {
+			moved++
+			continue // this page had to move somewhere
+		}
+		if after != before {
+			t.Fatalf("page %d moved %s -> %s though its owner survived", page, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Error("removed node owned no pages; the stability check is vacuous")
+	}
+}
+
+// TestRingSingleNode checks the degenerate ring.
+func TestRingSingleNode(t *testing.T) {
+	r, err := NewRing([]string{"only"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for page := uint64(0); page < 1000; page++ {
+		if r.Owner(page) != 0 {
+			t.Fatalf("page %d not owned by the only node", page)
+		}
+	}
+}
+
+// TestRingRejects checks construction errors.
+func TestRingRejects(t *testing.T) {
+	for _, names := range [][]string{nil, {}, {""}, {"a", "a"}, {"a", "", "b"}} {
+		if _, err := NewRing(names, 0); err == nil {
+			t.Errorf("NewRing(%q) succeeded, want error", names)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/engine"
+	"repro/internal/netclient"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Node identifies one cluster member to a router: a stable name (the ring
+// placement key — must match across every router and every boot of the
+// cluster) and the address its page-request listener currently answers on.
+type Node struct {
+	Name string
+	Addr string
+}
+
+// Router is one logical client connection to a whole cluster: it holds one
+// netclient.Conn per node and splits every request batch by ring owner,
+// fanning the sub-batches out concurrently and reassembling the per-request
+// results in submission order — callers see exactly the Do contract of a
+// single connection, just answered by N caches. Like netclient.Conn it is
+// not safe for concurrent use; the replay drivers give each goroutine its
+// own Router.
+type Router struct {
+	ring  *Ring
+	conns []*netclient.Conn
+	acks  []wire.HelloAck
+
+	// Per-Do scratch, reused across batches: the per-node sub-batches, the
+	// submission index of each sub-batch entry, and the reassembled hits.
+	split [][]trace.Request
+	index [][]int
+	hits  []bool
+	errs  []error
+}
+
+// DialRouter connects to every node of a cluster (vnodes as in NewRing;
+// 0 selects DefaultVirtualNodes). Call Hello next, then Do.
+func DialRouter(nodes []Node, vnodes int) (*Router, error) {
+	names := make([]string, len(nodes))
+	for i, n := range nodes {
+		names[i] = n.Name
+	}
+	ring, err := NewRing(names, vnodes)
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		ring:  ring,
+		conns: make([]*netclient.Conn, len(nodes)),
+		acks:  make([]wire.HelloAck, len(nodes)),
+		split: make([][]trace.Request, len(nodes)),
+		index: make([][]int, len(nodes)),
+		errs:  make([]error, len(nodes)),
+	}
+	for i, n := range nodes {
+		conn, err := netclient.Dial(n.Addr)
+		if err != nil {
+			r.Close()
+			return nil, fmt.Errorf("cluster: dialing %s (%s): %w", n.Name, n.Addr, err)
+		}
+		r.conns[i] = conn
+	}
+	return r, nil
+}
+
+// Hello handshakes with every node, announcing the same client name and
+// hint vocabulary everywhere (requests then reference keys by announcement
+// index regardless of which node serves them).
+func (r *Router) Hello(client string, keys []string) error {
+	for i, conn := range r.conns {
+		ack, err := conn.Hello(client, keys)
+		if err != nil {
+			return fmt.Errorf("cluster: hello to %s: %w", r.ring.Name(i), err)
+		}
+		r.acks[i] = ack
+	}
+	return nil
+}
+
+// Close closes every node connection, reporting the first error.
+func (r *Router) Close() error {
+	var first error
+	for _, conn := range r.conns {
+		if conn == nil {
+			continue
+		}
+		if err := conn.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Capacity returns the cluster-wide cache capacity (the sum of the node
+// capacities from the handshakes).
+func (r *Router) Capacity() int {
+	total := 0
+	for _, ack := range r.acks {
+		total += ack.Capacity
+	}
+	return total
+}
+
+// PolicyName labels cluster results: a single node keeps the node's own
+// label (so a 1-node cluster is directly comparable to a direct replay), a
+// real cluster prefixes the node count, e.g. "3×CLIC/8".
+func (r *Router) PolicyName() string {
+	name := "CLIC"
+	if len(r.acks) > 0 && r.acks[0].Shards != 1 {
+		name = fmt.Sprintf("CLIC/%d", r.acks[0].Shards)
+	}
+	if len(r.conns) == 1 {
+		return name
+	}
+	return fmt.Sprintf("%d×%s", len(r.conns), name)
+}
+
+// Do serves one request batch through the cluster: each request goes to
+// its ring owner, the sub-batches travel concurrently, and the returned
+// hit flags are in submission order — index i answers reqs[i]. The second
+// result is the cluster-wide outqueue depth (summed over the nodes that
+// served a sub-batch). The returned slice is the router's scratch buffer,
+// valid until the next Do.
+func (r *Router) Do(reqs []trace.Request) ([]bool, int, error) {
+	for n := range r.conns {
+		r.split[n] = r.split[n][:0]
+		r.index[n] = r.index[n][:0]
+		r.errs[n] = nil
+	}
+	for i, req := range reqs {
+		n := r.ring.Owner(req.Page)
+		r.split[n] = append(r.split[n], req)
+		r.index[n] = append(r.index[n], i)
+	}
+	if cap(r.hits) < len(reqs) {
+		r.hits = make([]bool, len(reqs))
+	}
+	r.hits = r.hits[:len(reqs)]
+
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		outq int
+	)
+	for n := range r.conns {
+		if len(r.split[n]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			res, err := r.conns[n].Do(r.split[n])
+			if err != nil {
+				r.errs[n] = fmt.Errorf("cluster: node %s: %w", r.ring.Name(n), err)
+				return
+			}
+			for i, hit := range res.Hits {
+				r.hits[r.index[n][i]] = hit
+			}
+			mu.Lock()
+			outq += res.OutqueueDepth
+			mu.Unlock()
+		}(n)
+	}
+	wg.Wait()
+	for _, err := range r.errs {
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return r.hits, outq, nil
+}
+
+// ReplayOptions tune the cluster replay drivers.
+type ReplayOptions struct {
+	// BatchSize is the request count per router batch; 0 selects
+	// wire.DefaultBatch.
+	BatchSize int
+	// Limit caps the total number of requests replayed; 0 replays the
+	// whole trace.
+	Limit int
+	// VirtualNodes is the ring density; 0 selects DefaultVirtualNodes.
+	VirtualNodes int
+}
+
+func (o ReplayOptions) batch() int {
+	if o.BatchSize <= 0 {
+		return wire.DefaultBatch
+	}
+	return o.BatchSize
+}
+
+// Replay replays an in-memory trace against a cluster with one concurrent
+// Router per trace client — netclient.Replay generalised from one server
+// to N. Per-client read accounting is exact; like every concurrent replay,
+// the aggregate hit count depends on how the clients' requests interleave
+// at the nodes.
+func Replay(nodes []Node, t *trace.Trace, opt ReplayOptions) (sim.Result, error) {
+	if opt.Limit > 0 {
+		t = t.Truncate(opt.Limit)
+	}
+	keys := t.Dict.Keys()
+	batch := opt.batch()
+	var (
+		mu        sync.Mutex
+		policy    string
+		capacity  int
+		haveLabel bool
+	)
+	res, err := engine.ServeStreams(t, func(c int, reqs []trace.Request, st *sim.ClientStat) error {
+		router, err := DialRouter(nodes, opt.VirtualNodes)
+		if err != nil {
+			return err
+		}
+		defer router.Close()
+		if err := router.Hello(t.Clients[c], keys); err != nil {
+			return err
+		}
+		mu.Lock()
+		if !haveLabel {
+			policy, capacity, haveLabel = router.PolicyName(), router.Capacity(), true
+		}
+		mu.Unlock()
+		for len(reqs) > 0 {
+			n := batch
+			if n > len(reqs) {
+				n = len(reqs)
+			}
+			hits, _, err := router.Do(reqs[:n])
+			if err != nil {
+				return err
+			}
+			for i, r := range reqs[:n] {
+				if r.Op == trace.Read {
+					st.Reads++
+					if hits[i] {
+						st.ReadHits++
+					}
+				}
+			}
+			reqs = reqs[n:]
+		}
+		return nil
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	res.Policy = policy
+	res.CacheSize = capacity
+	return res, nil
+}

@@ -65,6 +65,13 @@ const (
 	// cache-wide request stream over the full window W while page
 	// placement stays hash-partitioned.
 	StatsGlobal
+	// StatsMerged is StatsGlobal extended for a cluster of cache nodes: the
+	// shared learner additionally publishes each closed window's counters
+	// for peers and folds peer summaries into its rotations
+	// (clicstats.Merged), so priorities approximate the cluster-wide
+	// request stream. Meaningful when wired to an exchanger
+	// (internal/cluster); unwired it behaves exactly like StatsGlobal.
+	StatsMerged
 )
 
 // String returns the flag spelling of the mode.
@@ -74,6 +81,8 @@ func (m StatsMode) String() string {
 		return "partitioned"
 	case StatsGlobal:
 		return "global"
+	case StatsMerged:
+		return "merged"
 	default:
 		return fmt.Sprintf("StatsMode(%d)", int(m))
 	}
@@ -86,8 +95,10 @@ func ParseStatsMode(s string) (StatsMode, error) {
 		return StatsPartitioned, nil
 	case "global":
 		return StatsGlobal, nil
+	case "merged":
+		return StatsMerged, nil
 	default:
-		return 0, fmt.Errorf("core: unknown stats mode %q (want partitioned or global)", s)
+		return 0, fmt.Errorf("core: unknown stats mode %q (want partitioned, global or merged)", s)
 	}
 }
 
@@ -118,6 +129,10 @@ type Config struct {
 	// Stripes is the lock-stripe count of a global learner; 0 selects
 	// clicstats.DefaultStripes. Ignored in partitioned mode.
 	Stripes int
+	// LocalBias weights a merged learner's node-local window estimate over
+	// the cluster-merged one, in [0, 1); see clicstats.Config.LocalBias.
+	// Ignored outside StatsMerged.
+	LocalBias float64
 	// Engine selects the concurrency architecture of a Sharded front built
 	// from this configuration: mutex-per-shard (default) or single-owner
 	// shard goroutines fed by SPSC frame rings; see EngineMode. A plain
@@ -150,7 +165,7 @@ func (cfg Config) withDefaults() Config {
 
 // learnerConfig maps a resolved cache configuration to its learner's.
 func (cfg Config) learnerConfig() clicstats.Config {
-	return clicstats.Config{Window: cfg.Window, R: cfg.R, TopK: cfg.TopK, Stripes: cfg.Stripes}
+	return clicstats.Config{Window: cfg.Window, R: cfg.R, TopK: cfg.TopK, Stripes: cfg.Stripes, LocalBias: cfg.LocalBias}
 }
 
 // Cache is a CLIC server cache. It is not safe for concurrent use (wrap it
@@ -194,9 +209,12 @@ func New(cfg Config) *Cache {
 	}
 	cfg = cfg.withDefaults()
 	var l clicstats.Learner
-	if cfg.Stats == StatsGlobal {
+	switch cfg.Stats {
+	case StatsGlobal:
 		l = clicstats.NewGlobal(cfg.learnerConfig())
-	} else {
+	case StatsMerged:
+		l = clicstats.NewMerged(cfg.learnerConfig())
+	default:
 		l = clicstats.NewPartitioned(cfg.learnerConfig())
 	}
 	return newCache(cfg, l)

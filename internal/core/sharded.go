@@ -36,8 +36,10 @@ type Sharded struct {
 	capacity int
 	mode     StatsMode
 	engine   EngineMode
-	// global is the shared learner in StatsGlobal mode (nil otherwise).
+	// global is the shared learner in StatsGlobal and StatsMerged modes
+	// (nil otherwise); merged is its cluster view in StatsMerged mode.
 	global *clicstats.Global
+	merged *clicstats.Merged
 
 	// Owner-engine state (EngineOwner only): the owner goroutines' lifetime
 	// and the internal fallback producer behind the per-request Access path.
@@ -95,8 +97,12 @@ func NewSharded(cfg Config, n int) *Sharded {
 	}
 	full := cfg.withDefaults()
 	s := &Sharded{shards: make([]shardedShard, n), capacity: full.Capacity, mode: full.Stats, engine: full.Engine}
-	if full.Stats == StatsGlobal {
+	switch full.Stats {
+	case StatsGlobal:
 		s.global = clicstats.NewGlobal(full.learnerConfig())
+	case StatsMerged:
+		s.merged = clicstats.NewMerged(full.learnerConfig())
+		s.global = s.merged.Global
 	}
 	window := full.Window
 	if s.global == nil {
@@ -181,6 +187,12 @@ func (s *Sharded) Name() string {
 
 // StatsMode returns the statistics-learning mode in effect.
 func (s *Sharded) StatsMode() StatsMode { return s.mode }
+
+// Merged returns the shared cluster-mode learner, or nil outside
+// StatsMerged. The cluster layer uses it to wire summary publication and
+// absorption (internal/cluster); everything else treats the front
+// identically to global mode.
+func (s *Sharded) Merged() *clicstats.Merged { return s.merged }
 
 // EngineMode returns the concurrency architecture in effect.
 func (s *Sharded) EngineMode() EngineMode { return s.engine }

@@ -156,52 +156,78 @@ func ServeClientsMetrics(p policy.Policy, t *trace.Trace, m *ServeMetrics) sim.R
 	if prep, ok := p.(policy.Preparer); ok {
 		prep.Prepare(t.Reqs)
 	}
-	// Split the merged trace back into per-client request streams. The
-	// network replay (internal/netclient) does the same split, so the
-	// loopback and in-process paths drive the cache with identical
-	// per-client subsequences.
-	streams := t.SplitClients()
 	sharded, _ := p.(*core.Sharded)
+	res, _ := ServeStreams(t, func(_ int, reqs []trace.Request, st *sim.ClientStat) error {
+		if sharded != nil {
+			if m != nil {
+				serveStreamMetrics(sharded, reqs, st, m)
+			} else {
+				serveStream(sharded, reqs, st)
+			}
+			return nil
+		}
+		for _, r := range reqs {
+			hit := p.Access(r)
+			if r.Op == trace.Read {
+				st.Reads++
+				if hit {
+					st.ReadHits++
+				}
+			}
+		}
+		return nil
+	})
+	res.Policy = p.Name()
+	res.CacheSize = p.Capacity()
+	return res
+}
 
+// ServeStreams is the per-client fan-out shared by every concurrent replay
+// path: it splits an interleaved trace back into per-client request
+// streams (the same split internal/netclient and internal/cluster apply,
+// so in-process, loopback and cluster replays drive caches with identical
+// per-client subsequences), runs serve in one goroutine per client against
+// that client's own ClientStat, and folds the per-client read accounting
+// into one sim.Result. The caller labels the result (Policy, CacheSize)
+// afterwards — which server answered, and with what capacity, is only
+// known to the serve function. If any serve call fails, the first error is
+// returned and the partial result discarded.
+func ServeStreams(t *trace.Trace, serve func(c int, reqs []trace.Request, st *sim.ClientStat) error) (sim.Result, error) {
+	streams := t.SplitClients()
 	res := sim.Result{
 		Trace:     t.Name,
-		Policy:    p.Name(),
-		CacheSize: p.Capacity(),
 		Requests:  uint64(len(t.Reqs)),
 		PerClient: make([]sim.ClientStat, len(t.Clients)),
 	}
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
 	for c := range streams {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
 			st := &res.PerClient[c] // each goroutine owns its own ClientStat
 			st.Name = t.Clients[c]
-			if sharded != nil {
-				if m != nil {
-					serveStreamMetrics(sharded, streams[c], st, m)
-				} else {
-					serveStream(sharded, streams[c], st)
+			if err := serve(c, streams[c], st); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
 				}
-				return
-			}
-			for _, r := range streams[c] {
-				hit := p.Access(r)
-				if r.Op == trace.Read {
-					st.Reads++
-					if hit {
-						st.ReadHits++
-					}
-				}
+				mu.Unlock()
 			}
 		}(c)
 	}
 	wg.Wait()
+	if firstErr != nil {
+		return sim.Result{}, firstErr
+	}
 	for _, st := range res.PerClient {
 		res.Reads += st.Reads
 		res.ReadHits += st.ReadHits
 	}
-	return res
+	return res, nil
 }
 
 // serveStream replays one client's stream through its own producer handle

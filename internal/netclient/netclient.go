@@ -18,6 +18,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/hint"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -55,6 +56,7 @@ type Conn struct {
 	bw *bufio.Writer
 
 	ack       wire.HelloAck
+	version   int // negotiated protocol version (0 before Hello)
 	announced int // hint keys announced so far (Hello + Announce)
 
 	scratch []byte       // frame read buffer
@@ -113,16 +115,38 @@ func (c *Conn) Hello(client string, keys []string) (wire.HelloAck, error) {
 	if err != nil {
 		return wire.HelloAck{}, err
 	}
-	if ack.Version != wire.Version {
-		return wire.HelloAck{}, fmt.Errorf("netclient: server speaks protocol %d, want %d", ack.Version, wire.Version)
+	// The server acks min(our version, its version); accept it under the
+	// same floor rule the server applies to us.
+	v, err := wire.Negotiate(ack.Version)
+	if err != nil {
+		return wire.HelloAck{}, fmt.Errorf("netclient: %w", err)
 	}
 	c.ack = ack
+	c.version = v
 	c.announced = len(keys)
 	return ack, nil
 }
 
 // Ack returns the handshake response (zero before Hello).
 func (c *Conn) Ack() wire.HelloAck { return c.ack }
+
+// Version returns the negotiated protocol version (0 before Hello).
+func (c *Conn) Version() int { return c.version }
+
+// Probe dials addr and completes a throwaway handshake, verifying that a
+// compatible cache server is listening there. Replay drivers use it to
+// validate addresses up front instead of failing confusingly mid-replay.
+func Probe(addr string) error {
+	conn, err := Dial(addr)
+	if err != nil {
+		return fmt.Errorf("netclient: probing %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if _, err := conn.Hello("probe", nil); err != nil {
+		return fmt.Errorf("netclient: probing %s: %w", addr, err)
+	}
+	return nil
+}
 
 // Announced returns how many hint keys this connection has announced.
 func (c *Conn) Announced() int { return c.announced }
@@ -170,6 +194,23 @@ func (c *Conn) Do(reqs []trace.Request) (wire.Results, error) {
 	batchRTT.Observe(uint64(time.Since(start)))
 	batchesTotal.Inc()
 	return res, nil
+}
+
+// SendSummary ships one merged-learning window summary to the peer — the
+// node-to-node exchange of internal/cluster's gossip path. The peer sends
+// no reply. It requires the negotiated protocol to define Summary frames;
+// against an older peer it fails without writing anything, so a
+// mixed-version cluster degrades to unmerged learning instead of desyncing
+// the stream.
+func (c *Conn) SendSummary(s wire.Summary) error {
+	if c.version < wire.SummaryVersion {
+		return fmt.Errorf("netclient: peer negotiated protocol %d, summaries need %d", c.version, wire.SummaryVersion)
+	}
+	c.enc = wire.AppendSummary(c.enc[:0], s)
+	if err := wire.WriteFrame(c.bw, c.enc); err != nil {
+		return err
+	}
+	return c.bw.Flush()
 }
 
 // ReplayOptions tune the replay drivers.
@@ -241,45 +282,25 @@ func Replay(addr string, t *trace.Trace, opt ReplayOptions) (sim.Result, error) 
 	if opt.Limit > 0 {
 		t = t.Truncate(opt.Limit)
 	}
-	streams := t.SplitClients()
 	keys := t.Dict.Keys()
-	res := sim.Result{
-		Trace:     t.Name,
-		Requests:  uint64(t.Len()),
-		PerClient: make([]sim.ClientStat, len(streams)),
-	}
 	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		first error
-		ack   wire.HelloAck
+		mu  sync.Mutex
+		ack wire.HelloAck
 	)
-	for c := range streams {
-		res.PerClient[c].Name = t.Clients[c]
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			a, err := runClient(addr, t.Clients[c], keys, streams[c], opt.batch(), &res.PerClient[c])
+	res, err := engine.ServeStreams(t, func(c int, reqs []trace.Request, st *sim.ClientStat) error {
+		a, err := runClient(addr, t.Clients[c], keys, reqs, opt.batch(), st)
+		if a != (wire.HelloAck{}) {
 			mu.Lock()
-			if err != nil && first == nil {
-				first = err
-			}
-			if a != (wire.HelloAck{}) {
-				ack = a
-			}
+			ack = a
 			mu.Unlock()
-		}(c)
-	}
-	wg.Wait()
-	if first != nil {
-		return sim.Result{}, first
+		}
+		return err
+	})
+	if err != nil {
+		return sim.Result{}, err
 	}
 	res.Policy = policyName(ack)
 	res.CacheSize = ack.Capacity
-	for _, st := range res.PerClient {
-		res.Reads += st.Reads
-		res.ReadHits += st.ReadHits
-	}
 	return res, nil
 }
 

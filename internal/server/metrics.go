@@ -71,6 +71,19 @@ func (s *Server) buildRegistry() {
 	r.CounterFunc("clic_server_batches_total", "Request batches served.",
 		func() float64 { return float64(s.batchesTotal.Value()) })
 	r.RegisterHistogram("clic_server_batch_ns", "Batch service time (decode to response write) in nanoseconds.", &s.batchNs)
+
+	// Cluster merged-learning series, present only in merged statistics
+	// mode so single-node scrapes stay unchanged.
+	if m := c.Merged(); m != nil {
+		r.CounterFunc("clic_cluster_merge_rounds_total", "Window rotations folding cluster state (merge rounds).",
+			func() float64 { return float64(m.Rounds()) })
+		r.CounterFunc("clic_cluster_summaries_absorbed_total", "Peer window summaries folded into the merged learner.",
+			func() float64 { return float64(m.Absorbed()) })
+		r.CounterFunc("clic_cluster_summaries_published_total", "Window summaries published to the cluster exchanger.",
+			func() float64 { return float64(s.summariesPublished.Value()) })
+		r.GaugeFunc("clic_cluster_pending_hint_sets", "Hint sets with remote counters awaiting the next rotation.",
+			func() float64 { return float64(m.PendingHintSets()) })
+	}
 }
 
 // Registry exposes the server's metrics registry (for embedding callers

@@ -39,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/clicstats"
 	"repro/internal/core"
 	"repro/internal/hint"
 	"repro/internal/metrics"
@@ -60,6 +61,16 @@ type Config struct {
 	// that keeps a misbehaving client from growing server memory without
 	// bound. The paper's workloads carry tens of distinct hint sets.
 	MaxHintKeys int
+	// Node names this server in the window summaries it publishes to
+	// cluster peers (wire.Summary.Node); empty selects "node".
+	// Meaningful only with Cache.Stats == core.StatsMerged.
+	Node string
+	// OnSummary, when non-nil in merged statistics mode, receives each
+	// closed window's summary — the cluster exchanger's publication hook
+	// (internal/cluster delivers it to peers in-process or over TCP). It
+	// runs inside the learner's rotation, so it must return quickly and
+	// must not call back into this server's cache.
+	OnSummary func(wire.Summary)
 }
 
 // DefaultMaxHintKeys is the per-connection hint-vocabulary bound when
@@ -80,6 +91,8 @@ type clientTotals struct {
 type Server struct {
 	cache       *core.Sharded
 	maxHintKeys int
+	node        string
+	onSummary   func(wire.Summary)
 
 	ln      net.Listener
 	adminLn net.Listener
@@ -98,6 +111,11 @@ type Server struct {
 	batchesTotal metrics.Counter
 	batchNs      metrics.Histogram
 
+	// summariesPublished counts windows published to the cluster exchanger
+	// (merged mode with OnSummary wired; the absorbed side lives on the
+	// merged learner).
+	summariesPublished metrics.Counter
+
 	wg sync.WaitGroup
 }
 
@@ -111,15 +129,68 @@ func New(cfg Config) *Server {
 	if maxKeys <= 0 {
 		maxKeys = DefaultMaxHintKeys
 	}
+	node := cfg.Node
+	if node == "" {
+		node = "node"
+	}
 	s := &Server{
 		cache:       core.NewSharded(cfg.Cache, shards),
 		maxHintKeys: maxKeys,
+		node:        node,
+		onSummary:   cfg.OnSummary,
 		dict:        hint.NewDict(),
 		clients:     make(map[string]*clientTotals),
 		conns:       make(map[net.Conn]struct{}),
 	}
+	if m := s.cache.Merged(); m != nil && s.onSummary != nil {
+		m.SetPublish(s.publishSummary)
+	}
 	s.buildRegistry()
 	return s
+}
+
+// Node returns the server's cluster node name.
+func (s *Server) Node() string { return s.node }
+
+// publishSummary is the merged learner's publication hook: it resolves the
+// window's local hint IDs back to canonical keys (IDs are per-node
+// interning orders, meaningless to peers), orders the entries
+// deterministically, and hands the frame-ready summary to the exchanger.
+// It runs inside a window rotation; the dictionary lock is the only one it
+// takes.
+func (s *Server) publishSummary(round uint64, local []clicstats.WindowCounter) {
+	sum := wire.Summary{Node: s.node, Round: round, Entries: make([]wire.SummaryEntry, 0, len(local))}
+	s.mu.Lock()
+	for _, wc := range local {
+		sum.Entries = append(sum.Entries, wire.SummaryEntry{Key: s.dict.Key(wc.Hint), N: wc.N, Nr: wc.Nr, Dsum: wc.Dsum})
+	}
+	s.mu.Unlock()
+	sort.Slice(sum.Entries, func(i, j int) bool { return sum.Entries[i].Key < sum.Entries[j].Key })
+	s.summariesPublished.Inc()
+	s.onSummary(sum)
+}
+
+// AbsorbSummary folds one peer node's window summary into this server's
+// merged learner: entry keys are interned into the local dictionary and
+// the counters wait in the learner's pending pool until the next rotation.
+// It errors when the server is not in merged statistics mode, or when the
+// summary would blow the hint-vocabulary bound.
+func (s *Server) AbsorbSummary(sum wire.Summary) error {
+	m := s.cache.Merged()
+	if m == nil {
+		return fmt.Errorf("server: summaries need merged statistics mode (running %q)", s.cache.StatsMode())
+	}
+	if len(sum.Entries) > s.maxHintKeys {
+		return fmt.Errorf("server: summary with %d entries exceeds hint limit %d", len(sum.Entries), s.maxHintKeys)
+	}
+	counters := make([]clicstats.WindowCounter, len(sum.Entries))
+	s.mu.Lock()
+	for i, e := range sum.Entries {
+		counters[i] = clicstats.WindowCounter{Hint: s.dict.InternKey(e.Key), N: e.N, Nr: e.Nr, Dsum: e.Dsum}
+	}
+	s.mu.Unlock()
+	m.Absorb(counters)
+	return nil
 }
 
 // Cache exposes the backing sharded front (read-mostly use: stats, tests).
@@ -320,8 +391,13 @@ func (s *Server) handle(conn net.Conn) {
 		fail(err.Error())
 		return
 	}
-	if hello.Version != wire.Version {
-		fail(fmt.Sprintf("unsupported protocol version %d (server speaks %d)", hello.Version, wire.Version))
+	// Negotiate down to the client's version when it is older; refuse
+	// clients below the floor. Every later frame is interpreted under the
+	// negotiated version.
+	ver, err := wire.Negotiate(hello.Version)
+	if err != nil {
+		fail(fmt.Sprintf("unsupported protocol version %d (server speaks %d, accepts %d and up)",
+			hello.Version, wire.Version, wire.MinVersion))
 		return
 	}
 	if len(hello.Keys) > s.maxHintKeys {
@@ -330,7 +406,7 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	remap := s.intern(nil, hello.Keys)
 	ack := wire.AppendHelloAck(nil, wire.HelloAck{
-		Version:  wire.Version,
+		Version:  ver,
 		Shards:   s.cache.Shards(),
 		Capacity: s.cache.Capacity(),
 	})
@@ -426,6 +502,22 @@ func (s *Server) handle(conn net.Conn) {
 			// bumps; the loop stays allocation-free.
 			s.batchNs.Observe(uint64(time.Since(batchStart)))
 			s.batchesTotal.Inc()
+		case wire.TypeSummary:
+			// Reject cleanly on connections that negotiated a pre-summary
+			// protocol: the peer learns why instead of desyncing.
+			if ver < wire.SummaryVersion {
+				fail(fmt.Sprintf("summary frames need protocol %d, connection negotiated %d", wire.SummaryVersion, ver))
+				return
+			}
+			sum, err := wire.DecodeSummary(payload)
+			if err != nil {
+				fail(err.Error())
+				return
+			}
+			if err := s.AbsorbSummary(sum); err != nil {
+				fail(err.Error())
+				return
+			}
 		default:
 			fail(fmt.Sprintf("unexpected frame type %d", t))
 			return
@@ -468,6 +560,21 @@ type Snapshot struct {
 	Histograms  HistogramsSnapshot   `json:"histograms"`
 	Clients     []ClientSnapshot     `json:"clients"`
 	WindowStats []WindowStatSnapshot `json:"windowStats,omitempty"`
+	// Cluster is the merged-learning accounting, present only in merged
+	// statistics mode.
+	Cluster *ClusterSnapshot `json:"cluster,omitempty"`
+}
+
+// ClusterSnapshot is the merged-learning view of one cluster node: how
+// many windows it has rotated (merge rounds), how many peer summaries it
+// has folded in, how many it has published, and how many hint sets wait in
+// the pending pool for the next rotation.
+type ClusterSnapshot struct {
+	Node               string `json:"node"`
+	MergeRounds        uint64 `json:"mergeRounds"`
+	SummariesAbsorbed  uint64 `json:"summariesAbsorbed"`
+	SummariesPublished uint64 `json:"summariesPublished"`
+	PendingHintSets    int    `json:"pendingHintSets"`
 }
 
 // ConnectionsSnapshot is the connection accounting at snapshot time.
@@ -502,6 +609,15 @@ func (s *Server) Snapshot(topHints int) Snapshot {
 			BatchServiceNs: s.batchNs.Summary(),
 			Batches:        s.batchesTotal.Value(),
 		},
+	}
+	if m := s.cache.Merged(); m != nil {
+		snap.Cluster = &ClusterSnapshot{
+			Node:               s.node,
+			MergeRounds:        m.Rounds(),
+			SummariesAbsorbed:  m.Absorbed(),
+			SummariesPublished: s.summariesPublished.Value(),
+			PendingHintSets:    m.PendingHintSets(),
+		}
 	}
 	snap.Shards = make([]core.ShardStats, s.cache.Shards())
 	for i := range snap.Shards {

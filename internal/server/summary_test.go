@@ -1,0 +1,154 @@
+// Summary-exchange tests: absorption into a merged-mode server, clean
+// rejection on non-merged servers, and clean rejection on connections that
+// negotiated a pre-summary protocol version.
+package server_test
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netclient"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+func testSummary() wire.Summary {
+	return wire.Summary{Node: "peer", Round: 1, Entries: []wire.SummaryEntry{
+		{Key: "reqtype=seq", N: 10, Nr: 5, Dsum: 20},
+		{Key: "reqtype=rand", N: 4, Nr: 1, Dsum: 100},
+	}}
+}
+
+// TestSummaryAbsorbed drives a summary frame into a merged-mode server and
+// watches it land in the cluster accounting and /metrics.
+func TestSummaryAbsorbed(t *testing.T) {
+	srv := startServer(t, server.Config{
+		Cache:  core.Config{Capacity: 500, Window: 100, Stats: core.StatsMerged},
+		Shards: 2,
+		Node:   "n0",
+	})
+	conn, err := netclient.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Hello("peer", nil); err != nil {
+		t.Fatal(err)
+	}
+	if conn.Version() != wire.Version {
+		t.Fatalf("negotiated version %d, want %d", conn.Version(), wire.Version)
+	}
+	if err := conn.SendSummary(testSummary()); err != nil {
+		t.Fatal(err)
+	}
+	// The frame is handled asynchronously; no reply is sent.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		cl := srv.Snapshot(0).Cluster
+		if cl == nil {
+			t.Fatal("merged-mode snapshot has no cluster block")
+		}
+		if cl.SummariesAbsorbed == 1 {
+			if cl.Node != "n0" || cl.PendingHintSets != 2 {
+				t.Fatalf("cluster snapshot %+v, want node n0 with 2 pending hint sets", cl)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("summary never absorbed: %+v", cl)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	samples := scrape(t, srv)
+	if got := samples["clic_cluster_summaries_absorbed_total"]; got != 1 {
+		t.Errorf("clic_cluster_summaries_absorbed_total = %v, want 1", got)
+	}
+	if got := samples["clic_cluster_pending_hint_sets"]; got != 2 {
+		t.Errorf("clic_cluster_pending_hint_sets = %v, want 2", got)
+	}
+}
+
+// TestSummaryRejectedNotMerged checks that a server outside merged mode
+// answers a summary with a clean Error frame naming the reason.
+func TestSummaryRejectedNotMerged(t *testing.T) {
+	srv := startServer(t, server.Config{
+		Cache:  core.Config{Capacity: 500, Window: 100},
+		Shards: 2,
+	})
+	conn, err := netclient.Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Hello("peer", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := conn.SendSummary(testSummary()); err != nil {
+		t.Fatal(err)
+	}
+	// The rejection arrives as the next frame the client reads.
+	_, err = conn.Do(nil)
+	if err == nil || !strings.Contains(err.Error(), "merged statistics mode") {
+		t.Fatalf("err = %v, want merged-statistics-mode rejection", err)
+	}
+}
+
+// TestSummaryRejectedOldProtocol hand-rolls a version-1 handshake (as an
+// old binary would) and checks the server both negotiates down to 1 and
+// rejects a later summary frame cleanly instead of desyncing.
+func TestSummaryRejectedOldProtocol(t *testing.T) {
+	srv := startServer(t, server.Config{
+		Cache:  core.Config{Capacity: 500, Window: 100, Stats: core.StatsMerged},
+		Shards: 2,
+	})
+	nc, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	bw := bufio.NewWriter(nc)
+
+	if err := wire.WriteFrame(bw, wire.AppendHello(nil, wire.Hello{Version: 1, Client: "old"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := wire.ReadFrame(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ack, err := wire.DecodeHelloAck(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack.Version != 1 {
+		t.Fatalf("server acked version %d to a v1 client, want 1", ack.Version)
+	}
+
+	if err := wire.WriteFrame(bw, wire.AppendSummary(nil, testSummary())); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	p, err = wire.ReadFrame(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wire.DecodeError(p)
+	if err != nil {
+		t.Fatalf("reply to a v1 summary is not an Error frame: %v", err)
+	}
+	if !strings.Contains(msg, "protocol") {
+		t.Fatalf("rejection %q does not name the protocol version", msg)
+	}
+	if srv.Snapshot(0).Cluster.SummariesAbsorbed != 0 {
+		t.Error("summary absorbed despite protocol rejection")
+	}
+}

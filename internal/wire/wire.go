@@ -22,6 +22,14 @@
 //	                          bitmap of ceil(count/8) bytes (LSB first)
 //	Error    (server→client)  message — sent before the server closes a
 //	                          misbehaving connection
+//	Summary  (node→node)      origin node name, merge round, entry count,
+//	                          then per entry: canonical hint.Set key,
+//	                          window counters N and Nr (uvarints) and the
+//	                          distance sum D as 8 fixed little-endian
+//	                          bytes (IEEE 754 bits) — one node's rotated
+//	                          hint-statistics window, the exchange
+//	                          currency of cluster-wide merged learning
+//	                          (internal/cluster)
 //
 // The client ID is implicit: one connection is one client. Page numbers are
 // delta-encoded within each batch because clients issue runs of sequential
@@ -29,6 +37,20 @@
 // outqueue depth in Results is the server's CLIC outqueue fill level — a
 // hint back to clients about how much uncached-page history the server is
 // retaining.
+//
+// # Version negotiation
+//
+// Hello and HelloAck carry a protocol version. The server answers a Hello
+// with min(client version, Version) provided the client is at least
+// MinVersion, and the client accepts the ack under the same rule
+// (Negotiate implements both directions); otherwise the connection is
+// refused with an Error frame. Each side then sends only frames the
+// negotiated version defines. Summary frames exist from SummaryVersion on:
+// a peer that negotiated an older version rejects them with a clean Error
+// instead of desyncing the stream, which is what lets mixed-version
+// clusters upgrade one node at a time. Hint-set keys travel as canonical
+// strings in Summary frames because hint IDs are per-node interning
+// orders and mean nothing across processes.
 package wire
 
 import (
@@ -36,6 +58,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/hint"
 	"repro/internal/metrics"
@@ -77,8 +100,32 @@ func uvarintLen(n uint64) uint64 {
 	return l
 }
 
-// Version is the protocol version exchanged in Hello/HelloAck.
-const Version = 1
+// Version is the newest protocol version this codec speaks, offered in
+// Hello and capped in HelloAck. Version 2 added Summary frames.
+const Version = 2
+
+// MinVersion is the oldest peer version still accepted; anything older is
+// refused at the handshake.
+const MinVersion = 1
+
+// SummaryVersion is the first protocol version that defines Summary
+// frames. Connections negotiated below it must reject TypeSummary cleanly.
+const SummaryVersion = 2
+
+// Negotiate returns the protocol version to speak with a peer that
+// announced peerVersion: the newer side caps itself at the older side's
+// version, and peers older than MinVersion are refused. Both handshake
+// directions use it — the server on Hello.Version, the client on
+// HelloAck.Version.
+func Negotiate(peerVersion int) (int, error) {
+	if peerVersion < MinVersion {
+		return 0, fmt.Errorf("wire: peer speaks protocol version %d, need at least %d", peerVersion, MinVersion)
+	}
+	if peerVersion > Version {
+		return Version, nil
+	}
+	return peerVersion, nil
+}
 
 // MaxFrame bounds a frame's payload size; both sides reject larger frames
 // rather than allocating unbounded memory on malformed or hostile input.
@@ -96,6 +143,7 @@ const (
 	TypeBatch    byte = 4
 	TypeResults  byte = 5
 	TypeError    byte = 6
+	TypeSummary  byte = 7
 )
 
 // Hello opens a connection: the client names itself and announces the hint
@@ -111,6 +159,29 @@ type HelloAck struct {
 	Version  int
 	Shards   int
 	Capacity int
+}
+
+// Summary carries one node's rotated hint-statistics window: the raw
+// counters behind its top-k tracked hint sets, keyed by canonical hint.Set
+// key so peers can intern them into their own dictionaries. Peers fold the
+// counters into their next window rotation (clicstats.Merged), which is
+// how a cluster keeps one CLIC model without sharing memory.
+type Summary struct {
+	// Node names the origin so receivers can attribute merge traffic.
+	Node string
+	// Round is the origin's rotation count when the window closed.
+	Round   uint64
+	Entries []SummaryEntry
+}
+
+// SummaryEntry is one hint set's window counters: N arrivals, Nr
+// re-references, and the summed re-reference distance Dsum (the raw inputs
+// of CLIC's Pr(H) estimate, pre-division so receivers can keep summing).
+type SummaryEntry struct {
+	Key  string
+	N    uint64
+	Nr   uint64
+	Dsum float64
 }
 
 // Results carries the per-request outcomes of one Batch.
@@ -217,6 +288,15 @@ func (d *decoder) byte() (byte, error) {
 	b := d.p[d.off]
 	d.off++
 	return b, nil
+}
+
+func (d *decoder) float64() (float64, error) {
+	if len(d.p)-d.off < 8 {
+		return 0, fmt.Errorf("wire: truncated float64 at offset %d", d.off)
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.p[d.off:]))
+	d.off += 8
+	return v, nil
 }
 
 func (d *decoder) string() (string, error) {
@@ -470,6 +550,62 @@ func DecodeResults(p []byte, dst Results) (Results, error) {
 	}
 	dst.OutqueueDepth = int(depth)
 	return dst, nil
+}
+
+// AppendSummary encodes a Summary payload.
+func AppendSummary(dst []byte, s Summary) []byte {
+	dst = append(dst, TypeSummary)
+	dst = appendString(dst, s.Node)
+	dst = binary.AppendUvarint(dst, s.Round)
+	dst = binary.AppendUvarint(dst, uint64(len(s.Entries)))
+	for _, e := range s.Entries {
+		dst = appendString(dst, e.Key)
+		dst = binary.AppendUvarint(dst, e.N)
+		dst = binary.AppendUvarint(dst, e.Nr)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(e.Dsum))
+	}
+	return dst
+}
+
+// DecodeSummary decodes a Summary payload.
+func DecodeSummary(p []byte) (Summary, error) {
+	d, err := expect(p, TypeSummary)
+	if err != nil {
+		return Summary{}, err
+	}
+	var s Summary
+	if s.Node, err = d.string(); err != nil {
+		return Summary{}, err
+	}
+	if s.Round, err = d.uvarint(); err != nil {
+		return Summary{}, err
+	}
+	n, err := d.uvarint()
+	if err != nil {
+		return Summary{}, err
+	}
+	// An entry is at least 11 bytes (key length + N + Nr + fixed Dsum).
+	if n > uint64(len(p)-d.off)/11+1 {
+		return Summary{}, fmt.Errorf("wire: summary of %d entries overruns frame", n)
+	}
+	s.Entries = make([]SummaryEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e SummaryEntry
+		if e.Key, err = d.string(); err != nil {
+			return Summary{}, err
+		}
+		if e.N, err = d.uvarint(); err != nil {
+			return Summary{}, err
+		}
+		if e.Nr, err = d.uvarint(); err != nil {
+			return Summary{}, err
+		}
+		if e.Dsum, err = d.float64(); err != nil {
+			return Summary{}, err
+		}
+		s.Entries = append(s.Entries, e)
+	}
+	return s, d.done()
 }
 
 // AppendError encodes an Error payload.

@@ -127,6 +127,84 @@ func TestResultsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSummaryRoundTrip covers the cluster summary-exchange frame,
+// including NaN/Inf distance sums (NaN compared by bit pattern).
+func TestSummaryRoundTrip(t *testing.T) {
+	cases := []Summary{
+		{},
+		{Node: "node0", Round: 1, Entries: []SummaryEntry{{Key: "reqtype=seq", N: 10, Nr: 3, Dsum: 123.5}}},
+		{Node: "a node", Round: math.MaxUint64, Entries: []SummaryEntry{
+			{Key: "", N: math.MaxUint64, Nr: 0, Dsum: 0},
+			{Key: "x=y|z=w", N: 1, Nr: 1, Dsum: math.Inf(1)},
+			{Key: "q=1", N: 2, Nr: 2, Dsum: math.NaN()},
+		}},
+	}
+	for _, s := range cases {
+		got, err := DecodeSummary(AppendSummary(nil, s))
+		if err != nil {
+			t.Fatalf("%+v: %v", s, err)
+		}
+		if got.Node != s.Node || got.Round != s.Round || len(got.Entries) != len(s.Entries) {
+			t.Fatalf("round trip: got %+v, want %+v", got, s)
+		}
+		for i, e := range s.Entries {
+			g := got.Entries[i]
+			if g.Key != e.Key || g.N != e.N || g.Nr != e.Nr ||
+				math.Float64bits(g.Dsum) != math.Float64bits(e.Dsum) {
+				t.Errorf("entry %d = %+v, want %+v", i, g, e)
+			}
+		}
+	}
+}
+
+// TestSummaryRejectsGarbage checks truncation, impossible entry counts,
+// and trailing bytes fail cleanly.
+func TestSummaryRejectsGarbage(t *testing.T) {
+	s := AppendSummary(nil, Summary{Node: "n", Round: 2, Entries: []SummaryEntry{{Key: "a=b", N: 1, Nr: 1, Dsum: 4}}})
+	for cut := 1; cut < len(s); cut++ {
+		if _, err := DecodeSummary(s[:cut]); err == nil {
+			t.Errorf("DecodeSummary accepted a frame truncated at %d", cut)
+		}
+	}
+	if _, err := DecodeSummary(append(s[:len(s):len(s)], 0)); err == nil {
+		t.Error("DecodeSummary accepted trailing bytes")
+	}
+	huge := []byte{TypeSummary, 0, 0, 0xff, 0xff, 0xff, 0xff, 0x0f}
+	if _, err := DecodeSummary(huge); err == nil {
+		t.Error("DecodeSummary accepted an impossible entry count")
+	}
+}
+
+// TestNegotiate pins the version-negotiation rules for both handshake
+// directions.
+func TestNegotiate(t *testing.T) {
+	cases := []struct {
+		peer    int
+		want    int
+		wantErr bool
+	}{
+		{peer: Version, want: Version},
+		{peer: MinVersion, want: MinVersion},
+		{peer: Version + 5, want: Version},
+		{peer: MinVersion - 1, wantErr: true},
+		{peer: 0, wantErr: true},
+		{peer: -3, wantErr: true},
+	}
+	for _, c := range cases {
+		got, err := Negotiate(c.peer)
+		if c.wantErr != (err != nil) {
+			t.Errorf("Negotiate(%d): err = %v, wantErr %v", c.peer, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && got != c.want {
+			t.Errorf("Negotiate(%d) = %d, want %d", c.peer, got, c.want)
+		}
+	}
+	if MinVersion >= SummaryVersion {
+		t.Error("MinVersion must predate SummaryVersion for the mixed-version rejection path to exist")
+	}
+}
+
 // TestErrorRoundTrip covers the error frame.
 func TestErrorRoundTrip(t *testing.T) {
 	msg, err := DecodeError(AppendError(nil, "bad hint index"))
@@ -243,6 +321,35 @@ func FuzzDecodeHello(f *testing.F) {
 		}
 		if got.Version != h.Version || got.Client != h.Client || len(got.Keys) != len(h.Keys) {
 			t.Fatalf("round trip changed: %+v -> %+v", h, got)
+		}
+	})
+}
+
+// FuzzDecodeSummary does the same for the cluster summary frame.
+func FuzzDecodeSummary(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendSummary(nil, Summary{Node: "n0", Round: 7, Entries: []SummaryEntry{
+		{Key: "a=b", N: 5, Nr: 2, Dsum: 31.25},
+		{Key: "", N: 1, Nr: 0, Dsum: 0},
+	}}))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		s, err := DecodeSummary(p)
+		if err != nil {
+			return
+		}
+		got, err := DecodeSummary(AppendSummary(nil, s))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if got.Node != s.Node || got.Round != s.Round || len(got.Entries) != len(s.Entries) {
+			t.Fatalf("round trip changed: %+v -> %+v", s, got)
+		}
+		for i := range s.Entries {
+			a, b := s.Entries[i], got.Entries[i]
+			if a.Key != b.Key || a.N != b.N || a.Nr != b.Nr ||
+				math.Float64bits(a.Dsum) != math.Float64bits(b.Dsum) {
+				t.Fatalf("entry %d changed: %+v -> %+v", i, a, b)
+			}
 		}
 	})
 }
