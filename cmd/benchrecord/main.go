@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchrecord [-suite core|cluster] [-bench regexp] [-benchtime 1s] [-o FILE]
+//	go run ./cmd/benchrecord [-suite core|cluster|gen] [-bench regexp] [-benchtime 1s] [-o FILE]
 //	go run ./cmd/benchrecord -check BENCH_core.json                  # assert nonzero reqs/s
 //	go run ./cmd/benchrecord -suite cluster -check BENCH_cluster.json
 //
@@ -19,8 +19,11 @@
 // serving benchmarks into BENCH_core.json; "cluster" runs the
 // distributed-front benchmarks (BenchmarkCluster*: the whole stream into
 // one loopback node versus routed across a 3-node merging cluster) into
-// BENCH_cluster.json. -bench and -o override the preset's regexp and
-// output file.
+// BENCH_cluster.json; "gen" runs the streaming trace-pipeline benchmarks
+// (BenchmarkGen*: generation, v2 encoding, scanning, the streaming
+// transforms, plus the streaming serve) into BENCH_gen.json, including the
+// encoder's bytes/s. -bench and -o override the preset's regexp and output
+// file.
 //
 // With -check, no benchmarks run: the named file is loaded and benchrecord
 // exits nonzero unless the suite's required benchmarks are present and
@@ -48,6 +51,7 @@ type Result struct {
 	Iterations int64   `json:"iterations"`
 	NsPerOp    float64 `json:"ns_per_op"`
 	ReqsPerSec float64 `json:"reqs_per_s,omitempty"`
+	BytesSec   float64 `json:"bytes_per_s,omitempty"`
 	HitPercent float64 `json:"hit_pct,omitempty"`
 	BytesPerOp float64 `json:"bytes_per_op"`
 	AllocsOp   float64 `json:"allocs_per_op"`
@@ -90,10 +94,19 @@ var suites = map[string]suite{
 			"BenchmarkClusterDirectLoopback", "BenchmarkClusterRouterLoopback",
 		},
 	},
+	"gen": {
+		bench:  "^BenchmarkGen|^BenchmarkServeIterator$",
+		out:    "BENCH_gen.json",
+		family: "Gen",
+		required: []string{
+			"BenchmarkGenSerial", "BenchmarkGenParallel", "BenchmarkGenEncode",
+			"BenchmarkGenScan", "BenchmarkGenPipeline",
+		},
+	},
 }
 
 func main() {
-	suiteName := flag.String("suite", "core", "benchmark preset: core|cluster")
+	suiteName := flag.String("suite", "core", "benchmark preset: core|cluster|gen")
 	bench := flag.String("bench", "", "benchmark name regexp passed to go test -bench (default: the suite's)")
 	benchtime := flag.String("benchtime", "1s", "passed to go test -benchtime")
 	out := flag.String("o", "", "output file (default: the suite's)")
@@ -102,7 +115,7 @@ func main() {
 
 	s, ok := suites[*suiteName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchrecord: unknown suite %q (want core or cluster)\n", *suiteName)
+		fmt.Fprintf(os.Stderr, "benchrecord: unknown suite %q (want core, cluster or gen)\n", *suiteName)
 		os.Exit(1)
 	}
 	if *bench == "" {
@@ -195,6 +208,8 @@ func parseLine(line string) (Result, bool) {
 			r.NsPerOp = v
 		case "reqs/s":
 			r.ReqsPerSec = v
+		case "bytes/s":
+			r.BytesSec = v
 		case "hit_%", "hit-%":
 			r.HitPercent = v
 		case "B/op":

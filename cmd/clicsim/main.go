@@ -45,6 +45,13 @@
 // cluster should list the same addresses:
 //
 //	clicsim -connect :7070,:7071,:7072 -trace traces/DB2_C60.trc
+//
+// Everywhere a -trace file is accepted, -gen SPEC generates the workload
+// live instead — SPEC is PRESET[*clients][:requests][@seed], e.g.
+// DB2_C60*8:100000000 — so paper-scale runs need no trace file at all.
+// Replays (-connect) and concurrent serves (-concurrent) consume the
+// stream incrementally in constant memory; the serial grid path
+// materialises it first (policies like OPT need the whole trace).
 package main
 
 import (
@@ -67,11 +74,13 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		tracePath  = flag.String("trace", "", "binary trace file (required)")
+		tracePath  = flag.String("trace", "", "binary trace file (this or -gen is required)")
+		genSpec    = flag.String("gen", "", "generate the workload live from a spec PRESET[*clients][:requests][@seed] instead of reading -trace")
 		policies   = flag.String("policy", "CLIC", "comma-separated policies: "+strings.Join(sim.PolicyNames, ","))
 		caches     = flag.String("cache", "18000", "comma-separated server cache sizes in pages")
 		topk       = flag.Int("topk", 0, "CLIC: track only the k most frequent hint sets (0 = all)")
@@ -116,12 +125,16 @@ func main() {
 			core.Config{TopK: *topk, Window: *window, R: *decay, Noutq: *noutq, Stats: statsMode, Engine: engineMode})
 		return
 	}
-	if *tracePath == "" {
+	if *tracePath == "" && *genSpec == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *tracePath != "" && *genSpec != "" {
+		fatal(fmt.Errorf("-trace and -gen are mutually exclusive"))
+	}
+	src, label := source(*tracePath, *genSpec)
 	if *connect != "" {
-		replay(strings.Split(*connect, ","), *tracePath, *batch, *limit, *perClient)
+		replay(strings.Split(*connect, ","), src, label, *batch, *limit, *perClient)
 		return
 	}
 	if *concurrent && *shards < 2 {
@@ -133,9 +146,20 @@ func main() {
 		// (-concurrent, -serve, the network server) are the owner paths.
 		fatal(fmt.Errorf("-engine owner requires -concurrent (or -serve); serial replay uses the mutex engine"))
 	}
-	t, err := trace.Load(*tracePath)
-	if err != nil {
-		fatal(err)
+	// The grid path and the timeline recorder need the whole trace; the
+	// plain concurrent serve streams it instead (constant memory at any
+	// trace length — a -gen spec never materialises at all).
+	var t *trace.Trace
+	if !*concurrent || *timeline != "" {
+		it, err := src.Iter()
+		if err != nil {
+			fatal(err)
+		}
+		t, err = trace.Collect(it)
+		it.Close()
+		if err != nil {
+			fatal(err)
+		}
 	}
 	sizes := sizesOrDie(*caches)
 	clicCfg := core.Config{TopK: *topk, Window: *window, R: *decay, Noutq: *noutq, Stats: statsMode, Engine: engineMode}
@@ -199,7 +223,14 @@ func main() {
 			if *timeline != "" {
 				results = append(results, serveTimeline(p, t, *timeline, *interval))
 			} else {
-				results = append(results, engine.ServeClients(p, t))
+				// Stream the source through the front — the request stream is
+				// generated or read from disk again for each cell, and never
+				// held in RAM.
+				res, err := engine.ServeSource(p, src, 0)
+				if err != nil {
+					fatal(err)
+				}
+				results = append(results, res)
 			}
 			if s, ok := p.(*core.Sharded); ok {
 				s.Close()
@@ -209,8 +240,14 @@ func main() {
 		results = engine.Run(jobs, engine.Options{Workers: *workers})
 	}
 
+	traceName, reqCount := label, uint64(0)
+	if t != nil {
+		traceName, reqCount = t.Name, uint64(t.Len())
+	} else if len(results) > 0 {
+		traceName, reqCount = results[0].Trace, results[0].Requests
+	}
 	tbl := report.NewTable(fmt.Sprintf("read hit ratio — trace %s (%s requests)",
-		t.Name, report.Num(t.Len())), "policy", "cache (pages)", "read hit ratio")
+		traceName, report.Num(reqCount)), "policy", "cache (pages)", "read hit ratio")
 	for i, res := range results {
 		label := cells[i].policy
 		if label == "CLIC" && *shards > 1 {
@@ -281,11 +318,25 @@ func serve(addr string, shards int, sizes []int, cfg core.Config) {
 	}
 }
 
-// replay streams the trace file to a cache server — or, with several
+// source resolves -trace/-gen into a request source plus a display label:
+// a trace file streamed from disk, or a workload generated live from a
+// spec — either way the replay and serve paths consume it incrementally.
+func source(path, spec string) (trace.Source, string) {
+	if spec != "" {
+		s, err := workload.ParseSpec(spec)
+		if err != nil {
+			fatal(err)
+		}
+		return s.Source(), s.String()
+	}
+	return trace.FileSource(path), path
+}
+
+// replay streams the source to a cache server — or, with several
 // addresses, routes it across a cluster by consistent hash — and reports
 // the hit ratios the servers' responses imply. Every address is validated
 // with a probe handshake before any request is replayed.
-func replay(addrs []string, path string, batch, limit int, perClient bool) {
+func replay(addrs []string, src trace.Source, label string, batch, limit int, perClient bool) {
 	for i, addr := range addrs {
 		addrs[i] = strings.TrimSpace(addr)
 		if addrs[i] == "" {
@@ -300,24 +351,19 @@ func replay(addrs []string, path string, batch, limit int, perClient bool) {
 		err error
 	)
 	if len(addrs) == 1 {
-		// Single server: stream from disk in constant memory.
-		res, err = netclient.ReplayFile(addrs[0], path, netclient.ReplayOptions{BatchSize: batch, Limit: limit})
+		// Single server: stream the source in constant memory.
+		res, err = netclient.ReplaySource(addrs[0], src, netclient.ReplayOptions{BatchSize: batch, Limit: limit})
 	} else {
-		// Cluster: the router splits batches by page owner, which needs the
-		// in-memory trace (placement is per request, not per stream).
-		var t *trace.Trace
-		t, err = trace.Load(path)
-		if err != nil {
-			fatal(err)
-		}
+		// Cluster: the routers split batches by page owner and stream the
+		// source in constant memory, announcing hint keys as they appear.
 		nodes := make([]cluster.Node, len(addrs))
 		for i, addr := range addrs {
 			nodes[i] = cluster.Node{Name: addr, Addr: addr}
 		}
-		res, err = cluster.Replay(nodes, t, cluster.ReplayOptions{BatchSize: batch, Limit: limit})
+		res, err = cluster.ReplaySource(nodes, src, cluster.ReplayOptions{BatchSize: batch, Limit: limit})
 	}
 	if err != nil {
-		fatal(err)
+		fatal(fmt.Errorf("replaying %s: %w", label, err))
 	}
 	tbl := report.NewTable(fmt.Sprintf("networked replay — trace %s against %s at %s (%s requests)",
 		res.Trace, res.Policy, strings.Join(addrs, ","), report.Num(res.Requests)),

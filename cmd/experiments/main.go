@@ -22,6 +22,11 @@
 // against a 3-node consistent-hash cluster with and without cross-node
 // merged learning, replayed through the real router over loopback TCP
 // (internal/cluster).
+//
+// -stream SPEC|FILE bypasses the figures and serves one sharded CLIC front
+// straight from a live generator spec (PRESET[*clients][:requests][@seed])
+// or a trace file, in bounded memory at any request count — the
+// paper-scale mode; -stream-cache and -stream-shards size the front.
 package main
 
 import (
@@ -29,10 +34,15 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -45,6 +55,9 @@ func main() {
 		decay    = flag.Float64("r", 0, "CLIC decay r override")
 		workers  = flag.Int("workers", 0, "parallel simulations per experiment (0 = all cores)")
 		progress = flag.Bool("progress", false, "log each completed grid cell to stderr")
+		stream   = flag.String("stream", "", "stream one serve over a generator spec PRESET[*clients][:requests][@seed] or a trace file instead of running figures")
+		sCache   = flag.Int("stream-cache", 18000, "-stream: server cache size in pages")
+		sShards  = flag.Int("stream-shards", 8, "-stream: shards of the concurrent front")
 	)
 	flag.Parse()
 
@@ -53,6 +66,10 @@ func main() {
 	env.Window = *window
 	env.R = *decay
 	env.Workers = *workers
+	if *stream != "" {
+		runStream(*stream, *sCache, *sShards, *window, *decay)
+		return
+	}
 	if *progress {
 		env.Progress = func(done, total int, r sim.Result) {
 			fmt.Fprintf(os.Stderr, "  [%d/%d] %s %s cache=%d hit=%.1f%%\n",
@@ -166,6 +183,41 @@ func main() {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "markdown written to %s\n", *mdPath)
+	}
+}
+
+// runStream is the paper-scale escape hatch: one sharded CLIC front served
+// straight from a request source — a trace file if the argument names one
+// on disk, otherwise a generator spec — in bounded memory at any request
+// count. The whole stream is consumed exactly once; nothing is cached.
+func runStream(arg string, cacheSize, shards, window int, r float64) {
+	var src trace.Source
+	if _, err := os.Stat(arg); err == nil {
+		src = trace.FileSource(arg)
+	} else {
+		spec, err := workload.ParseSpec(arg)
+		if err != nil {
+			fatal(fmt.Errorf("-stream %q is neither a file nor a spec: %w", arg, err))
+		}
+		src = spec.Source()
+	}
+	cfg := core.Config{Capacity: sim.ClicCapacity(cacheSize), Window: window, R: r}
+	front := core.NewSharded(cfg, shards)
+	defer front.Close()
+	start := time.Now()
+	res, err := engine.ServeSource(front, src, 0)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+	tbl := report.NewTable(fmt.Sprintf("streaming serve — %s against %s (%s requests)",
+		res.Trace, res.Policy, report.Num(res.Requests)),
+		"clients", "reads", "read hits", "hit ratio", "req/s")
+	tbl.AddRow(report.Num(len(res.PerClient)), report.Num(res.Reads), report.Num(res.ReadHits),
+		fmt.Sprintf("%.1f%%", 100*res.HitRatio()),
+		fmt.Sprintf("%.2fM", float64(res.Requests)/elapsed.Seconds()/1e6))
+	if err := tbl.Render(os.Stdout); err != nil {
+		fatal(err)
 	}
 }
 

@@ -1,0 +1,239 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/hint"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Announce extends every node's hint table with keys discovered after
+// Hello. The same keys go to every node in the same order, preserving the
+// invariant that announcement indices mean the same thing cluster-wide.
+// Frames are buffered and ride ahead of each node's next sub-batch.
+func (r *Router) Announce(keys []string) error {
+	for i, conn := range r.conns {
+		if err := conn.Announce(keys); err != nil {
+			return fmt.Errorf("cluster: announce to %s: %w", r.ring.Name(i), err)
+		}
+	}
+	return nil
+}
+
+// Announced returns how many hint keys this router has announced (the same
+// count on every node: Hello and Announce always fan identical key lists).
+func (r *Router) Announced() int {
+	if len(r.conns) == 0 {
+		return 0
+	}
+	return r.conns[0].Announced()
+}
+
+// ReplaySource replays any request source — a trace file, an in-memory
+// trace, or a live generator spec — against a cluster, never materialising
+// the stream: Replay generalised the same way netclient.ReplaySource
+// generalises netclient.Replay.
+func ReplaySource(nodes []Node, src trace.Source, opt ReplayOptions) (sim.Result, error) {
+	it, err := src.Iter()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	defer it.Close()
+	return ReplayIterator(nodes, it, opt)
+}
+
+// ReplayIterator replays a request iterator against a cluster with one
+// Router (one connection per node) and one goroutine per discovered client.
+// Clients and hint keys may appear as the iteration proceeds (text traces,
+// v2 dict sections, generated streams); new keys are announced to every
+// node ahead of the first batch that references them.
+func ReplayIterator(nodes []Node, it trace.Iterator, opt ReplayOptions) (sim.Result, error) {
+	type worker struct {
+		ch      chan []trace.Request
+		free    chan []trace.Request
+		pending []trace.Request
+		st      *sim.ClientStat
+	}
+	var (
+		log       keyLog
+		workers   []*worker
+		stats     []*sim.ClientStat
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		first     error
+		policy    string
+		capacity  int
+		haveLabel bool
+		batch     = opt.batch()
+		total     uint64
+		dictLen   int
+	)
+	log.grow(it.HintDict())
+	dictLen = it.HintDict().Len()
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return first != nil
+	}
+	spawn := func(name string) *worker {
+		w := &worker{
+			ch:   make(chan []trace.Request, 4),
+			free: make(chan []trace.Request, 8),
+			st:   &sim.ClientStat{Name: name},
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			router, err := DialRouter(nodes, opt.VirtualNodes)
+			if err != nil {
+				fail(err)
+				router = nil
+			} else {
+				defer router.Close()
+				if err := router.Hello(name, log.since(0)); err != nil {
+					fail(err)
+					router = nil
+				} else {
+					mu.Lock()
+					if !haveLabel {
+						policy, capacity, haveLabel = router.PolicyName(), router.Capacity(), true
+					}
+					mu.Unlock()
+				}
+			}
+			send := func(reqs []trace.Request) error {
+				if fresh := log.since(router.Announced()); len(fresh) > 0 {
+					if err := router.Announce(fresh); err != nil {
+						return err
+					}
+				}
+				hits, _, err := router.Do(reqs)
+				if err != nil {
+					return err
+				}
+				for i, r := range reqs {
+					if r.Op == trace.Read {
+						w.st.Reads++
+						if hits[i] {
+							w.st.ReadHits++
+						}
+					}
+				}
+				return nil
+			}
+			for reqs := range w.ch {
+				// On failure keep draining so the dispatcher never blocks.
+				if router != nil && !failed() {
+					if err := send(reqs); err != nil {
+						fail(err)
+					}
+				}
+				select {
+				case w.free <- reqs[:0]:
+				default:
+				}
+			}
+		}()
+		return w
+	}
+
+	for it.Scan() {
+		if opt.Limit > 0 && total >= uint64(opt.Limit) {
+			break
+		}
+		if failed() {
+			break
+		}
+		r := it.Request()
+		if n := it.HintDict().Len(); n != dictLen {
+			log.grow(it.HintDict())
+			dictLen = n
+		}
+		c := int(r.Client)
+		for c >= len(workers) {
+			names := it.Clients()
+			name := fmt.Sprintf("client%d", len(workers))
+			if len(workers) < len(names) {
+				name = names[len(workers)]
+			}
+			w := spawn(name)
+			workers = append(workers, w)
+			stats = append(stats, w.st)
+		}
+		w := workers[c]
+		w.pending = append(w.pending, r)
+		if len(w.pending) >= batch {
+			w.ch <- w.pending
+			select {
+			case w.pending = <-w.free:
+			default:
+				w.pending = nil
+			}
+		}
+		total++
+	}
+	for _, w := range workers {
+		if len(w.pending) > 0 {
+			w.ch <- w.pending
+		}
+		close(w.ch)
+	}
+	wg.Wait()
+	if err := it.Err(); err != nil {
+		return sim.Result{}, err
+	}
+	if first != nil {
+		return sim.Result{}, first
+	}
+
+	res := sim.Result{
+		Trace:     it.Name(),
+		Policy:    policy,
+		CacheSize: capacity,
+		Requests:  total,
+		PerClient: make([]sim.ClientStat, len(stats)),
+	}
+	for i, st := range stats {
+		res.PerClient[i] = *st
+		res.Reads += st.Reads
+		res.ReadHits += st.ReadHits
+	}
+	return res, nil
+}
+
+// keyLog is the append-only list of hint keys discovered by a streaming
+// scan, shared between the dispatcher (writer) and the per-client senders
+// (readers catching their routers up before each batch) — the cluster twin
+// of netclient's keyLog.
+type keyLog struct {
+	mu   sync.Mutex
+	keys []string
+}
+
+func (l *keyLog) grow(d *hint.Dict) {
+	l.mu.Lock()
+	for id := len(l.keys); id < d.Len(); id++ {
+		l.keys = append(l.keys, d.Key(hint.ID(id)))
+	}
+	l.mu.Unlock()
+}
+
+func (l *keyLog) since(from int) []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if from >= len(l.keys) {
+		return nil
+	}
+	out := make([]string, len(l.keys)-from)
+	copy(out, l.keys[from:])
+	return out
+}

@@ -82,12 +82,14 @@ type hintKey struct {
 
 // Client is a simulated first-tier database client: it owns buffer pools,
 // runs the page cleaner and checkpointer, and appends every I/O that
-// escapes its pools — with hints attached — to an output trace.
+// escapes its pools — with hints attached — to an output sink (an in-memory
+// trace, a streaming trace writer, or a pipe to a live consumer).
 type Client struct {
 	db      *Database
 	cfg     Config
 	pools   []*bufPool
-	out     *trace.Trace
+	out     trace.Sink
+	dict    *hint.Dict
 	hintIDs map[hintKey]hint.ID
 	rng     *rand.Rand
 
@@ -98,7 +100,7 @@ type Client struct {
 }
 
 // NewClient builds a client over db that appends its I/O to out.
-func NewClient(db *Database, out *trace.Trace, cfg Config) *Client {
+func NewClient(db *Database, out trace.Sink, cfg Config) *Client {
 	cfg = cfg.withDefaults()
 	if cfg.Style == nil {
 		panic("dbsim: Config.Style is required")
@@ -110,6 +112,7 @@ func NewClient(db *Database, out *trace.Trace, cfg Config) *Client {
 		db:      db,
 		cfg:     cfg,
 		out:     out,
+		dict:    out.HintDict(),
 		hintIDs: make(map[hintKey]hint.ID),
 		rng:     randx.New(cfg.Seed),
 		fill:    make(map[int]int),
@@ -120,7 +123,9 @@ func NewClient(db *Database, out *trace.Trace, cfg Config) *Client {
 	return c
 }
 
-// Emitted returns the number of requests appended to the output trace.
+// Emitted returns the number of requests absorbed by the output sink. For a
+// Limit-wrapped sink this caps at the limit, which is exactly the loop
+// condition generators want: stop once the budget is met.
 func (c *Client) Emitted() int { return c.out.Len() }
 
 // SetThread sets the issuing thread for subsequent requests (MySQL hint).
@@ -228,20 +233,23 @@ func (c *Client) Checkpoint() {
 	}
 }
 
-// emit appends one server request with its hint set to the output trace.
+// emit appends one server request with its hint set to the output sink.
+// The hint is interned before the append, so even a request the sink drops
+// (Limit cut) leaves its key in the dictionary — matching the historical
+// generate-then-truncate behavior bit for bit.
 func (c *Client) emit(obj *Object, page uint64, rt ReqType) {
 	ctx := HintCtx{Thread: c.thread, FixCount: c.fixCount(obj)}
 	key := hintKey{obj: obj.ID, rt: rt, thread: ctx.Thread, fix: ctx.FixCount}
 	id, ok := c.hintIDs[key]
 	if !ok {
-		id = c.out.Dict.Intern(c.cfg.Style.Hints(obj, rt, ctx))
+		id = c.dict.Intern(c.cfg.Style.Hints(obj, rt, ctx))
 		c.hintIDs[key] = id
 	}
 	op := trace.Read
 	if rt.IsWrite() {
 		op = trace.Write
 	}
-	c.out.Append(page, op, id)
+	c.out.AppendReq(trace.Request{Page: page, Hint: id, Op: op})
 }
 
 // fixCount models the MySQL fix-count hint: index pages are occasionally

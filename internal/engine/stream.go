@@ -1,0 +1,150 @@
+package engine
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// ServeSource drives one shared cache from any request source — a trace
+// file, an in-memory trace, or a live workload generator — without ever
+// materialising the stream: the in-process counterpart of
+// netclient.ReplaySource, with the same dispatcher/worker shape, so a
+// 100M-request serve needs memory for a few batches per client, not for
+// the trace. The cache must be safe for concurrent use (core.Sharded is).
+func ServeSource(p policy.Policy, src trace.Source, batchSize int) (sim.Result, error) {
+	it, err := src.Iter()
+	if err != nil {
+		return sim.Result{}, err
+	}
+	defer it.Close()
+	return ServeIterator(p, it, batchSize)
+}
+
+// ServeIterator is ServeSource over an already-open iterator. Clients are
+// discovered as the iteration proceeds, each getting its own goroutine and
+// (for Sharded fronts) its own producer handle, fed in batches of batchSize
+// (0 selects core.DefaultAccessBatch) through recycled buffers — the
+// steady-state dispatch path allocates nothing.
+//
+// Unlike ServeClients it cannot run policy.Preparer prefix passes (OPT,
+// ARC-style oracles need the whole request slice); use the in-RAM path for
+// those policies. Like ServeClients, per-client read accounting is exact
+// while the aggregate hit count depends on scheduling.
+func ServeIterator(p policy.Policy, it trace.Iterator, batchSize int) (sim.Result, error) {
+	if batchSize <= 0 {
+		batchSize = core.DefaultAccessBatch
+	}
+	sharded, _ := p.(*core.Sharded)
+
+	type worker struct {
+		ch      chan []trace.Request
+		free    chan []trace.Request
+		pending []trace.Request
+		st      *sim.ClientStat
+	}
+	var (
+		workers []*worker
+		stats   []*sim.ClientStat
+		wg      sync.WaitGroup
+		total   uint64
+	)
+	spawn := func(name string) *worker {
+		w := &worker{
+			ch:   make(chan []trace.Request, 4),
+			free: make(chan []trace.Request, 8),
+			st:   &sim.ClientStat{Name: name},
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var prod *core.Producer
+			if sharded != nil {
+				prod = sharded.NewProducer()
+				defer prod.Close()
+			}
+			hits := make([]bool, batchSize)
+			for reqs := range w.ch {
+				if prod != nil {
+					prod.AccessBatch(reqs, hits)
+					for i := range reqs {
+						if reqs[i].Op == trace.Read {
+							w.st.Reads++
+							if hits[i] {
+								w.st.ReadHits++
+							}
+						}
+					}
+				} else {
+					for _, r := range reqs {
+						hit := p.Access(r)
+						if r.Op == trace.Read {
+							w.st.Reads++
+							if hit {
+								w.st.ReadHits++
+							}
+						}
+					}
+				}
+				select {
+				case w.free <- reqs[:0]:
+				default:
+				}
+			}
+		}()
+		return w
+	}
+
+	for it.Scan() {
+		r := it.Request()
+		c := int(r.Client)
+		for c >= len(workers) {
+			names := it.Clients()
+			name := ""
+			if len(workers) < len(names) {
+				name = names[len(workers)]
+			}
+			w := spawn(name)
+			workers = append(workers, w)
+			stats = append(stats, w.st)
+		}
+		w := workers[c]
+		w.pending = append(w.pending, r)
+		if len(w.pending) >= batchSize {
+			w.ch <- w.pending
+			select {
+			case w.pending = <-w.free:
+			default:
+				w.pending = nil
+			}
+		}
+		total++
+	}
+	for _, w := range workers {
+		if len(w.pending) > 0 {
+			w.ch <- w.pending
+		}
+		close(w.ch)
+	}
+	wg.Wait()
+	if err := it.Err(); err != nil {
+		return sim.Result{}, err
+	}
+
+	res := sim.Result{
+		Trace:     it.Name(),
+		Policy:    p.Name(),
+		CacheSize: p.Capacity(),
+		Requests:  total,
+		PerClient: make([]sim.ClientStat, len(stats)),
+	}
+	for i, st := range stats {
+		res.PerClient[i] = *st
+		res.Reads += st.Reads
+		res.ReadHits += st.ReadHits
+	}
+	return res, nil
+}

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestServeIteratorSingleClient: with one client the streaming serve is a
+// serial batch replay, so it must match ServeClients on a fresh identical
+// cache exactly — reads and hits.
+func TestServeIteratorSingleClient(t *testing.T) {
+	tr := testTrace.Truncate(15000)
+	cfg := core.Config{Capacity: 2000, Window: 2000}
+	want := ServeClients(core.NewSharded(cfg, 4), tr)
+
+	it := tr.Iter()
+	defer it.Close()
+	got, err := ServeIterator(core.NewSharded(cfg, 4), it, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reads != want.Reads || got.ReadHits != want.ReadHits {
+		t.Errorf("streaming %d/%d hits/reads, in-RAM %d/%d",
+			got.ReadHits, got.Reads, want.ReadHits, want.Reads)
+	}
+	if got.ReadHits == 0 {
+		t.Error("no hits; test is vacuous")
+	}
+	if got.Requests != uint64(tr.Len()) || got.Trace != tr.Name {
+		t.Errorf("Requests=%d Trace=%q, want %d %q", got.Requests, got.Trace, tr.Len(), tr.Name)
+	}
+}
+
+// TestServeIteratorPlainPolicySingleClient: the non-Sharded per-request
+// path, serial with one client, must reproduce sim.Run bit-exactly.
+func TestServeIteratorPlainPolicySingleClient(t *testing.T) {
+	tr := testTrace.Truncate(15000)
+	cfg := core.Config{Capacity: 2000, Window: 2000}
+	want := sim.Run(core.New(cfg), tr)
+
+	it := tr.Iter()
+	defer it.Close()
+	got, err := ServeIterator(core.New(cfg), it, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Reads != want.Reads || got.ReadHits != want.ReadHits {
+		t.Errorf("streaming %d/%d hits/reads, sim.Run %d/%d",
+			got.ReadHits, got.Reads, want.ReadHits, want.Reads)
+	}
+}
+
+// TestServeIteratorMultiClient checks the concurrent accounting against
+// ServeClients over the same interleaved trace: per-client read counts are
+// exact (they depend only on the trace), names line up, and totals balance.
+func TestServeIteratorMultiClient(t *testing.T) {
+	parts := make([]*trace.Trace, 6)
+	for i := range parts {
+		parts[i] = testTrace.Truncate(6000)
+		parts[i].Name = string(rune('A' + i))
+	}
+	merged, err := trace.Interleave("SIX", parts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ServeClients(core.NewSharded(core.Config{Capacity: 3000, Window: 3000}, 2), merged)
+
+	it := merged.Iter()
+	defer it.Close()
+	got, err := ServeIterator(core.NewSharded(core.Config{Capacity: 3000, Window: 3000}, 2), it, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PerClient) != len(want.PerClient) {
+		t.Fatalf("PerClient has %d entries, want %d", len(got.PerClient), len(want.PerClient))
+	}
+	var reads, hits uint64
+	for c, st := range got.PerClient {
+		if st.Name != want.PerClient[c].Name {
+			t.Errorf("client %d named %q, want %q", c, st.Name, want.PerClient[c].Name)
+		}
+		if st.Reads != want.PerClient[c].Reads {
+			t.Errorf("client %d: %d reads, want %d", c, st.Reads, want.PerClient[c].Reads)
+		}
+		reads += st.Reads
+		hits += st.ReadHits
+	}
+	if got.Reads != reads || got.ReadHits != hits {
+		t.Errorf("totals %d/%d do not fold per-client %d/%d", got.Reads, got.ReadHits, reads, hits)
+	}
+	if got.Requests != uint64(merged.Len()) {
+		t.Errorf("Requests = %d, want %d", got.Requests, merged.Len())
+	}
+	if got.ReadHits == 0 {
+		t.Error("no hits; test is vacuous")
+	}
+}
+
+// TestServeSourceGenerator drives the cache straight from a live workload
+// generator — the trace never exists in RAM or on disk.
+func TestServeSourceGenerator(t *testing.T) {
+	spec, err := workload.ParseSpec("DB2_C60*3:18000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewSharded(core.Config{Capacity: 2000, Window: 2000}, 4)
+	res, err := ServeSource(s, spec.Source(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 18000 {
+		t.Errorf("Requests = %d, want 18000", res.Requests)
+	}
+	if len(res.PerClient) != 3 {
+		t.Fatalf("PerClient has %d entries, want 3", len(res.PerClient))
+	}
+	for c, st := range res.PerClient {
+		if st.Name != spec.ClientNames()[c] {
+			t.Errorf("client %d named %q, want %q", c, st.Name, spec.ClientNames()[c])
+		}
+		if st.Reads == 0 {
+			t.Errorf("client %d issued no reads", c)
+		}
+	}
+	if res.ReadHits == 0 {
+		t.Error("no hits; test is vacuous")
+	}
+}

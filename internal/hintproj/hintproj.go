@@ -216,6 +216,49 @@ func Project(t *trace.Trace, types []string) *trace.Trace {
 	return out
 }
 
+// ProjectStream is the streaming form of Project: it pipes requests from it
+// into sink, keeping only the given hint types in every hint set, in
+// bounded memory at any trace length. Projected sets are interned in input
+// dictionary ID order as the input dictionary becomes visible — the same
+// order Project's upfront remap uses — so the output requests and
+// dictionary are identical to Project over the same input.
+func ProjectStream(it trace.Iterator, sink trace.Sink, types []string) error {
+	keep := make(map[string]bool, len(types))
+	for _, typ := range types {
+		keep[typ] = true
+	}
+	inDict, outDict := it.HintDict(), sink.HintDict()
+	var remap []hint.ID
+	sync := func() {
+		for id := len(remap); id < inDict.Len(); id++ {
+			set, err := hint.Parse(inDict.Key(hint.ID(id)))
+			if err != nil {
+				// Same degradation as Project: corrupt key → empty projection.
+				remap = append(remap, outDict.Intern(nil))
+				continue
+			}
+			proj := make(hint.Set, 0, len(types))
+			for _, f := range set {
+				if keep[f.Type] {
+					proj = append(proj, f)
+				}
+			}
+			remap = append(remap, outDict.Intern(proj))
+		}
+	}
+	for it.Scan() {
+		sync()
+		r := it.Request()
+		r.Hint = remap[r.Hint]
+		sink.AppendReq(r)
+	}
+	sync() // trailing dict growth (v2 dict sections after the last block)
+	if err := it.Err(); err != nil {
+		return err
+	}
+	return trace.Err(sink)
+}
+
 // Generalize is the end-to-end helper: analyze a sample of the trace,
 // select the maxTypes most informative hint types, and return the
 // projected trace together with the chosen types.

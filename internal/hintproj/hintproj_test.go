@@ -148,3 +148,31 @@ func TestGeneralizeNoSignal(t *testing.T) {
 		t.Errorf("expected passthrough, got types %v", types)
 	}
 }
+
+// TestProjectStreamMatchesProject pins the streaming projection to the
+// in-RAM one: same requests, same dictionary, same IDs.
+func TestProjectStreamMatchesProject(t *testing.T) {
+	tr := signalTrace(3, 20000)
+	types := []string{"kind"}
+	want := Project(tr, types)
+	got := trace.New(want.Name, tr.PageSize)
+	got.Clients = append([]string(nil), tr.Clients...)
+	it := tr.Iter()
+	defer it.Close()
+	if err := ProjectStream(it, got, types); err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() || got.Dict.Len() != want.Dict.Len() {
+		t.Fatalf("len %d/%d, dict %d/%d", got.Len(), want.Len(), got.Dict.Len(), want.Dict.Len())
+	}
+	for i := range want.Reqs {
+		if got.Reqs[i] != want.Reqs[i] {
+			t.Fatalf("request %d: %+v vs %+v", i, got.Reqs[i], want.Reqs[i])
+		}
+	}
+	for id := 0; id < want.Dict.Len(); id++ {
+		if got.Dict.Key(hint.ID(id)) != want.Dict.Key(hint.ID(id)) {
+			t.Fatalf("hint %d: %q vs %q", id, got.Dict.Key(hint.ID(id)), want.Dict.Key(hint.ID(id)))
+		}
+	}
+}

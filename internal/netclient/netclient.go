@@ -6,9 +6,11 @@
 // counting hits from the server's responses.
 //
 // Replay takes an in-memory trace; ReplayFile streams one from disk via
-// trace.Scanner, so arbitrarily long traces replay in constant memory.
-// Both return a sim.Result shaped exactly like engine.ServeClients' so the
-// loopback and in-process paths are directly comparable.
+// trace.Scanner and ReplaySource streams from any trace.Source (file,
+// in-memory trace, or live workload generator), so arbitrarily long
+// streams replay in constant memory. All return a sim.Result shaped
+// exactly like engine.ServeClients' so the loopback and in-process paths
+// are directly comparable.
 package netclient
 
 import (
@@ -334,16 +336,29 @@ func (l *keyLog) since(from int) []string {
 
 // ReplayFile replays a trace file against the server at addr, streaming
 // requests via trace.Scanner so memory stays constant regardless of trace
-// length. Clients and (for text traces) hint sets are discovered as the
-// scan proceeds; newly seen hint keys are announced to the server ahead of
-// the first batch that references them.
+// length.
 func ReplayFile(addr, path string, opt ReplayOptions) (sim.Result, error) {
-	sc, err := trace.Open(path)
+	return ReplaySource(addr, trace.FileSource(path), opt)
+}
+
+// ReplaySource replays any request source — a trace file, an in-memory
+// trace, or a live generator spec — against the server at addr, never
+// materialising the stream.
+func ReplaySource(addr string, src trace.Source, opt ReplayOptions) (sim.Result, error) {
+	it, err := src.Iter()
 	if err != nil {
 		return sim.Result{}, err
 	}
-	defer sc.Close()
+	defer it.Close()
+	return ReplayIterator(addr, it, opt)
+}
 
+// ReplayIterator replays a request iterator against the server at addr with
+// one connection and one goroutine per discovered client. Clients and hint
+// sets may be discovered as the iteration proceeds (text traces, v2 dict
+// sections, generated streams); newly seen hint keys are announced to the
+// server ahead of the first batch that references them.
+func ReplayIterator(addr string, sc trace.Iterator, opt ReplayOptions) (sim.Result, error) {
 	// Batch buffers cycle between the dispatcher and each worker: the
 	// dispatcher fills one from the scan, hands it over on ch, and the
 	// worker returns it on free once the server has answered. After a few
@@ -367,8 +382,8 @@ func ReplayFile(addr, path string, opt ReplayOptions) (sim.Result, error) {
 		total   uint64
 		dictLen int
 	)
-	log.grow(sc.Dict())
-	dictLen = sc.Dict().Len()
+	log.grow(sc.HintDict())
+	dictLen = sc.HintDict().Len()
 	fail := func(err error) {
 		mu.Lock()
 		if first == nil {
@@ -449,11 +464,12 @@ func ReplayFile(addr, path string, opt ReplayOptions) (sim.Result, error) {
 			break
 		}
 		r := sc.Request()
-		// Only text scans grow the dictionary mid-stream; checking the
-		// length (dictionary mutation happens on this goroutine only)
-		// keeps the keyLog mutex off the per-request path.
-		if n := sc.Dict().Len(); n != dictLen {
-			log.grow(sc.Dict())
+		// Streaming inputs (text traces, v2 dict sections, generator
+		// pipes) grow the dictionary mid-stream; checking the length
+		// (dictionary mutation happens on this goroutine only) keeps the
+		// keyLog mutex off the per-request path.
+		if n := sc.HintDict().Len(); n != dictLen {
+			log.grow(sc.HintDict())
 			dictLen = n
 		}
 		c := int(r.Client)

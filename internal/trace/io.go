@@ -263,14 +263,15 @@ func Save(path string, t *Trace) error {
 	return f.Close()
 }
 
-// Load reads a binary trace from path.
+// Load reads a trace from path in any format (binary v1, binary v2, text),
+// sniffed from the leading bytes.
 func Load(path string) (*Trace, error) {
-	f, err := os.Open(path)
+	s, err := Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return ReadBinary(f)
+	defer s.Close()
+	return Collect(s)
 }
 
 func writeUvarint(w *bufio.Writer, v uint64) {

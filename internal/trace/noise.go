@@ -162,3 +162,74 @@ func WithNoise(t *Trace, cfg NoiseConfig) (*Trace, error) {
 	}
 	return out, nil
 }
+
+// StreamNoise is the streaming form of WithNoise: it pipes requests from it
+// into sink, extending every hint set with cfg.Types synthetic types, and
+// never holds the trace in memory — scanner→transform→writer runs in
+// bounded space at any trace length. The output requests and dictionary are
+// identical to WithNoise over the same input: synthetic values are drawn in
+// request order from the same generator, and extended hint sets are
+// interned in first-occurrence order, exactly like the chunked merge.
+//
+// With cfg.Types == 0 every input dictionary key is re-interned in ID order
+// as it becomes visible, again matching WithNoise.
+func StreamNoise(it Iterator, sink Sink, cfg NoiseConfig) error {
+	if cfg.Types < 0 || cfg.Domain <= 0 {
+		return fmt.Errorf("trace: invalid noise config %+v", cfg)
+	}
+	inDict, outDict := it.HintDict(), sink.HintDict()
+
+	if cfg.Types == 0 {
+		var remap []hint.ID
+		sync := func() {
+			for id := len(remap); id < inDict.Len(); id++ {
+				remap = append(remap, outDict.InternKey(inDict.Key(hint.ID(id))))
+			}
+		}
+		for it.Scan() {
+			sync()
+			r := it.Request()
+			r.Hint = remap[r.Hint]
+			sink.AppendReq(r)
+		}
+		sync() // trailing dict growth (v2 dict sections after the last block)
+		if err := it.Err(); err != nil {
+			return err
+		}
+		return Err(sink)
+	}
+
+	rng := randx.New(cfg.Seed)
+	zipf := randx.NewZipf(rng, cfg.Domain, cfg.ZipfS)
+	names := make([]string, cfg.Types)
+	for j := range names {
+		names[j] = fmt.Sprintf("noise%d", j)
+	}
+	valStrs := make([]string, cfg.Domain)
+	for v := range valStrs {
+		valStrs[v] = fmt.Sprintf("v%d", v)
+	}
+
+	var baseSets []hint.Set
+	ext := make(hint.Set, 0, 8+cfg.Types)
+	for it.Scan() {
+		for id := len(baseSets); id < inDict.Len(); id++ {
+			s, err := hint.Parse(inDict.Key(hint.ID(id)))
+			if err != nil {
+				return fmt.Errorf("trace: noise injection on %q: %w", it.Name(), err)
+			}
+			baseSets = append(baseSets, s)
+		}
+		r := it.Request()
+		ext = append(ext[:0], baseSets[r.Hint]...)
+		for j := 0; j < cfg.Types; j++ {
+			ext = append(ext, hint.Field{Type: names[j], Value: valStrs[zipf.Next()]})
+		}
+		r.Hint = outDict.Intern(ext)
+		sink.AppendReq(r)
+	}
+	if err := it.Err(); err != nil {
+		return err
+	}
+	return Err(sink)
+}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/hint"
+)
+
+// TestStreamNoiseMatchesWithNoise pins the streaming transform to the
+// in-RAM one: scanner→StreamNoise→trace must equal WithNoise, for zero and
+// nonzero noise types, including when the input arrives via the streaming
+// v2 format (incremental dictionary).
+func TestStreamNoiseMatchesWithNoise(t *testing.T) {
+	tr := buildTrace("NOISE", 60000, 21)
+	for _, types := range []int{0, 2, 5} {
+		cfg := DefaultNoise(types, 77)
+		want, err := WithNoise(tr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// From an in-memory iterator.
+		got := New(want.Name, tr.PageSize)
+		got.Clients = append([]string(nil), tr.Clients...)
+		it := tr.Iter()
+		if err := StreamNoise(it, got, cfg); err != nil {
+			t.Fatal(err)
+		}
+		it.Close()
+		tracesEqual(t, want, got)
+
+		// From a v2 stream (dictionary arrives in sections).
+		var buf bytes.Buffer
+		if err := WriteBinaryV2(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		sc, err := NewScanner(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got2 := New(want.Name, tr.PageSize)
+		got2.Clients = append([]string(nil), tr.Clients...)
+		if err := StreamNoise(sc, got2, cfg); err != nil {
+			t.Fatal(err)
+		}
+		tracesEqual(t, want, got2)
+
+		// Dictionary IDs must match exactly, not just keys.
+		for i, r := range want.Reqs {
+			if got.Reqs[i].Hint != r.Hint || got2.Reqs[i].Hint != r.Hint {
+				t.Fatalf("types=%d request %d: hint IDs diverge", types, i)
+			}
+		}
+	}
+}
+
+// TestStreamNoiseThroughWriter checks the full scanner→noise→v2-writer pipe
+// round-trips to the WithNoise reference.
+func TestStreamNoiseThroughWriter(t *testing.T) {
+	tr := buildTrace("PIPE_NOISE", 30000, 4)
+	cfg := DefaultNoise(3, 9)
+	want, err := WithNoise(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v2in, v2out bytes.Buffer
+	if err := WriteBinaryV2(&v2in, tr); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScanner(bytes.NewReader(v2in.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWriter(&v2out, want.Name, tr.PageSize, tr.Clients, WriterOptions{BlockSize: 2048})
+	if err := StreamNoise(sc, w, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := NewScanner(bytes.NewReader(v2out.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(sc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != want.Len() || got.Dict.Len() != want.Dict.Len() {
+		t.Fatalf("len %d/%d, dict %d/%d", got.Len(), want.Len(), got.Dict.Len(), want.Dict.Len())
+	}
+	for i := range want.Reqs {
+		if got.Reqs[i] != want.Reqs[i] {
+			t.Fatalf("request %d: %+v vs %+v", i, got.Reqs[i], want.Reqs[i])
+		}
+	}
+	for id := 0; id < want.Dict.Len(); id++ {
+		if got.Dict.Key(hint.ID(id)) != want.Dict.Key(hint.ID(id)) {
+			t.Fatalf("hint %d: %q vs %q", id, got.Dict.Key(hint.ID(id)), want.Dict.Key(hint.ID(id)))
+		}
+	}
+}

@@ -1,0 +1,314 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/hint"
+)
+
+// TestV2RoundTrip checks WriteBinaryV2 → Scanner reproduces the trace
+// exactly, including the dictionary and multi-client tags.
+func TestV2RoundTrip(t *testing.T) {
+	tr := streamTestTrace()
+	var buf bytes.Buffer
+	if err := WriteBinaryV2(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScanner(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, tr, got)
+	if n, ok := sc.Count(); !ok || n != tr.Len() {
+		t.Fatalf("Count after trailer = %d,%v, want %d,true", n, ok, tr.Len())
+	}
+}
+
+// TestV2CrossRead writes the same trace in v1, v2, and text and checks that
+// Load reads all three identically.
+func TestV2CrossRead(t *testing.T) {
+	tr := buildTrace("CROSS", 3000, 7)
+	dir := t.TempDir()
+	p1 := filepath.Join(dir, "v1.trc")
+	p2 := filepath.Join(dir, "v2.trc")
+	if err := Save(p1, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveV2(p2, tr); err != nil {
+		t.Fatal(err)
+	}
+	got1, err := Load(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Load(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, tr, got1)
+	tracesEqual(t, tr, got2)
+}
+
+// TestV2SerialParallelIdentical pins the central writer property: the bytes
+// on disk do not depend on the encoder worker count.
+func TestV2SerialParallelIdentical(t *testing.T) {
+	tr := buildTrace("PAR", 20000, 11)
+	encode := func(workers int) []byte {
+		var buf bytes.Buffer
+		// Small blocks so the parallel path sees many in-flight jobs.
+		w := NewWriter(&buf, tr.Name, tr.PageSize, tr.Clients, WriterOptions{BlockSize: 512, Workers: workers})
+		for _, k := range tr.Dict.Keys() {
+			w.HintDict().InternKey(k)
+		}
+		for _, r := range tr.Reqs {
+			w.AppendReq(r)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	serial := encode(1)
+	for _, workers := range []int{2, 4, 8} {
+		if par := encode(workers); !bytes.Equal(serial, par) {
+			t.Fatalf("workers=%d produced different bytes (%d vs %d)", workers, len(par), len(serial))
+		}
+	}
+}
+
+// TestV2IncrementalDict checks that hint keys interned between appends are
+// carried by dict sections, including keys interned after the last request.
+func TestV2IncrementalDict(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "inc", 4096, []string{"c"}, WriterOptions{BlockSize: 2, Workers: 1})
+	for i := 0; i < 5; i++ {
+		id := w.HintDict().InternKey(hint.Make("step", string(rune('a'+i))).Key())
+		w.AppendReq(Request{Page: uint64(i), Hint: id})
+	}
+	// A key the generator interned for a request that was then cut off.
+	w.HintDict().InternKey(hint.Make("step", "late").Key())
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScanner(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 5 {
+		t.Fatalf("got %d requests, want 5", got.Len())
+	}
+	if got.Dict.Len() != 6 {
+		t.Fatalf("dict carried %d keys, want 6 (incl. post-block key)", got.Dict.Len())
+	}
+	if _, ok := got.Dict.Lookup(hint.Make("step", "late")); !ok {
+		t.Fatal("post-block dict key lost")
+	}
+}
+
+// TestV2EmptyTrace checks a stream with zero requests still round-trips.
+func TestV2EmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "empty", 4096, []string{"c"}, WriterOptions{})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScanner(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Name != "empty" {
+		t.Fatalf("unexpected trace %q len %d", got.Name, got.Len())
+	}
+}
+
+// TestV2Truncated checks every proper prefix of a v2 stream is rejected —
+// the trailer makes truncation always detectable.
+func TestV2Truncated(t *testing.T) {
+	tr := streamTestTrace()
+	var buf bytes.Buffer
+	if err := WriteBinaryV2(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := len(full) - 1; cut > len(binaryMagicV2); cut -= 7 {
+		sc, err := NewScanner(bytes.NewReader(full[:cut]))
+		if err != nil {
+			continue // truncated inside the header: also fine
+		}
+		for sc.Scan() {
+		}
+		if sc.Err() == nil {
+			t.Fatalf("truncation at %d/%d not detected", cut, len(full))
+		}
+	}
+}
+
+// TestV2CorruptPayload flips one payload byte and requires the checksum to
+// catch it (when the damage doesn't already break varint decoding).
+func TestV2CorruptPayload(t *testing.T) {
+	tr := buildTrace("CRC", 500, 3)
+	var buf bytes.Buffer
+	if err := WriteBinaryV2(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	sc, err := NewScanner(bytes.NewReader(corrupt))
+	if err != nil {
+		return // corrupted the header: rejected even earlier
+	}
+	for sc.Scan() {
+	}
+	if sc.Err() == nil {
+		t.Fatal("corrupted payload byte not detected")
+	}
+}
+
+// TestV2TrailingGarbage checks that bytes after the trailer are rejected.
+func TestV2TrailingGarbage(t *testing.T) {
+	tr := streamTestTrace()
+	var buf bytes.Buffer
+	if err := WriteBinaryV2(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(0x00)
+	sc, err := NewScanner(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sc.Scan() {
+	}
+	if sc.Err() == nil || !strings.Contains(sc.Err().Error(), "trailing data") {
+		t.Fatalf("trailing garbage not detected: %v", sc.Err())
+	}
+}
+
+// TestV2ScanSteadyStateAllocs pins the zero-allocation property of v2
+// scanning: after warm-up (dict interned, payload buffer sized), scanning
+// the remainder of the stream must not allocate.
+func TestV2ScanSteadyStateAllocs(t *testing.T) {
+	tr := buildTrace("ALLOC", 200000, 9)
+	var buf bytes.Buffer
+	w := NewWriter(&buf, tr.Name, tr.PageSize, tr.Clients, WriterOptions{BlockSize: 4096, Workers: 1})
+	for _, k := range tr.Dict.Keys() {
+		w.HintDict().InternKey(k)
+	}
+	for _, r := range tr.Reqs {
+		w.AppendReq(r)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScanner(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: first block load sizes the payload buffer.
+	for i := 0; i < 5000 && sc.Scan(); i++ {
+	}
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	n := 0
+	for sc.Scan() {
+		n++
+	}
+	runtime.ReadMemStats(&m1)
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n < 100000 {
+		t.Fatalf("steady-state phase scanned only %d requests", n)
+	}
+	if allocs := m1.Mallocs - m0.Mallocs; allocs > 10 {
+		t.Fatalf("steady-state scan of %d requests allocated %d times", n, allocs)
+	}
+}
+
+// TestPipeRoundTrip streams a trace through NewPipe on a producer goroutine
+// and checks the consumer sees identical requests and dictionary.
+func TestPipeRoundTrip(t *testing.T) {
+	tr := buildTrace("PIPE", 30000, 5)
+	pw, pr := NewPipe(tr.Name, tr.PageSize, tr.Clients, 256)
+	go func() {
+		for _, k := range tr.Dict.Keys() {
+			pw.HintDict().InternKey(k)
+		}
+		for _, r := range tr.Reqs {
+			pw.AppendReq(r)
+		}
+		pw.Close()
+	}()
+	got, err := Collect(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, tr, got)
+}
+
+// TestPipeCancel checks that closing the reader lets the producer finish
+// without blocking, flagging the cancellation.
+func TestPipeCancel(t *testing.T) {
+	pw, pr := NewPipe("cancel", 4096, []string{"c"}, 8)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100000; i++ {
+			pw.AppendReq(Request{Page: uint64(i)})
+		}
+		pw.Close()
+	}()
+	if !pr.Scan() {
+		t.Fatal("expected at least one request")
+	}
+	pr.Close()
+	<-done
+	if !pw.Canceled() {
+		t.Fatal("producer did not observe cancellation")
+	}
+}
+
+// TestLimitSink checks the exact-cut property Limit provides.
+func TestLimitSink(t *testing.T) {
+	var tr Trace
+	tr.Dict = hint.NewDict()
+	s := Limit(&tr, 3)
+	for i := 0; i < 10; i++ {
+		s.AppendReq(Request{Page: uint64(i)})
+	}
+	if s.Len() != 3 || len(tr.Reqs) != 3 {
+		t.Fatalf("limit leaked: sink len %d, trace len %d", s.Len(), len(tr.Reqs))
+	}
+	if tr.Reqs[2].Page != 2 {
+		t.Fatalf("wrong requests kept: %+v", tr.Reqs)
+	}
+}
+
+// TestMemIter checks Trace.Iter matches the slice.
+func TestMemIter(t *testing.T) {
+	tr := streamTestTrace()
+	it := tr.Iter()
+	defer it.Close()
+	got, err := Collect(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracesEqual(t, tr, got)
+}

@@ -43,8 +43,7 @@ const (
 	newordRows    = 80
 )
 
-func generateTPCC(p Preset) (*trace.Trace, error) {
-	t := trace.New(p.Name, p.PageSize)
+func generateTPCC(p Preset, out trace.Sink) error {
 	db := dbsim.NewDatabase(p.PageSize)
 
 	// Buffer pools: pool 0 holds data tables (80%), pool 1 indexes and the
@@ -84,7 +83,7 @@ func generateTPCC(p Preset) (*trace.Trace, error) {
 	w.distIdx = db.NewObject("DISTRICT_IDX", "index", 1, 3, 1, 2)
 	w.catalog = db.NewObject("CATALOG", "catalog", 1, 3, 9, 4)
 
-	w.c = dbsim.NewClient(db, t, dbsim.Config{
+	w.c = dbsim.NewClient(db, out, dbsim.Config{
 		Style:     dbsim.DB2Style{},
 		PoolSizes: []int{dataPool, idxPool},
 		// A cleaner batch slightly below the update rate lets bursts push
@@ -121,8 +120,7 @@ func generateTPCC(p Preset) (*trace.Trace, error) {
 			w.stockLevel()
 		}
 	}
-	t.Reqs = t.Reqs[:p.Requests]
-	return t, t.Validate()
+	return nil
 }
 
 // uniformPage returns a uniformly random page index of obj.

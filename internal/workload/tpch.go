@@ -78,8 +78,7 @@ var tpchQueries = []tpchQuery{
 	{name: "Q22", scans: []tpchScan{{"CUSTOMER", 0.70}}, probes: []tpchProbe{{"ORDERS", 200, 1}}, spill: 80},
 }
 
-func generateTPCH(p Preset, mysql bool) (*trace.Trace, error) {
-	t := trace.New(p.Name, p.PageSize)
+func generateTPCH(p Preset, out trace.Sink, mysql bool) error {
 	db := dbsim.NewDatabase(p.PageSize)
 	w := &tpch{db: db, rng: randx.New(p.Seed), mysql: mysql}
 
@@ -133,7 +132,7 @@ func generateTPCH(p Preset, mysql bool) (*trace.Trace, error) {
 		style = dbsim.MySQLStyle{}
 		threads = 5
 	}
-	w.c = dbsim.NewClient(db, t, dbsim.Config{
+	w.c = dbsim.NewClient(db, out, dbsim.Config{
 		Style:           style,
 		PoolSizes:       poolSizes,
 		Threads:         threads,
@@ -148,8 +147,7 @@ func generateTPCH(p Preset, mysql bool) (*trace.Trace, error) {
 	for w.c.Emitted() < p.Requests {
 		w.runStream(p.Requests)
 	}
-	t.Reqs = t.Reqs[:p.Requests]
-	return t, t.Validate()
+	return nil
 }
 
 // runStream executes one query stream: the 22 templates in a pseudo-random

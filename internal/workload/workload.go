@@ -78,18 +78,41 @@ func PresetByName(name string) (Preset, error) {
 	return Preset{}, fmt.Errorf("workload: unknown preset %q", name)
 }
 
-// Generate runs the preset's workload and returns its trace.
+// Generate runs the preset's workload and returns its trace in memory. It
+// is GenerateTo into a fresh *Trace — streamed and in-RAM generation share
+// one code path, so they are bit-identical by construction.
 func Generate(p Preset) (*trace.Trace, error) {
+	t := trace.New(p.Name, p.PageSize)
+	if err := GenerateTo(p, t); err != nil {
+		return nil, err
+	}
+	return t, t.Validate()
+}
+
+// GenerateTo runs the preset's workload, emitting each request into sink as
+// it is produced: with a streaming sink (trace.Writer, trace.PipeWriter)
+// memory stays bounded no matter how many requests the preset asks for.
+// Exactly p.Requests requests are appended (the last transaction's
+// overshoot is cut, like the historical truncate; hint keys the cut
+// requests interned stay in the dictionary, also like the historical
+// behavior).
+func GenerateTo(p Preset, sink trace.Sink) error {
+	lim := trace.Limit(sink, p.Requests)
+	var err error
 	switch p.Kind {
 	case TPCCDB2:
-		return generateTPCC(p)
+		err = generateTPCC(p, lim)
 	case TPCHDB2:
-		return generateTPCH(p, false)
+		err = generateTPCH(p, lim, false)
 	case TPCHMySQL:
-		return generateTPCH(p, true)
+		err = generateTPCH(p, lim, true)
 	default:
-		return nil, fmt.Errorf("workload: unknown kind %q", p.Kind)
+		return fmt.Errorf("workload: unknown kind %q", p.Kind)
 	}
+	if err != nil {
+		return err
+	}
+	return trace.Err(sink)
 }
 
 // GenerateAll generates every preset's trace, fanning the generations
