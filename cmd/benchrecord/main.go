@@ -11,7 +11,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/benchrecord [-suite core|cluster|gen] [-bench regexp] [-benchtime 1s] [-o FILE]
+//	go run ./cmd/benchrecord [-suite core|cluster|gen|net] [-bench regexp] [-benchtime 1s] [-o FILE]
 //	go run ./cmd/benchrecord -check BENCH_core.json                  # assert nonzero reqs/s
 //	go run ./cmd/benchrecord -suite cluster -check BENCH_cluster.json
 //
@@ -22,13 +22,17 @@
 // BENCH_cluster.json; "gen" runs the streaming trace-pipeline benchmarks
 // (BenchmarkGen*: generation, v2 encoding, scanning, the streaming
 // transforms, plus the streaming serve) into BENCH_gen.json, including the
-// encoder's bytes/s. -bench and -o override the preset's regexp and output
-// file.
+// encoder's bytes/s; "net" runs the pipelined-wire benchmarks
+// (BenchmarkNet*: the loopback replay lock-step at in-flight depth 1
+// versus pipelined, with batch round-trip p50/p99) into BENCH_net.json.
+// -bench and -o override the preset's regexp and output file.
 //
 // With -check, no benchmarks run: the named file is loaded and benchrecord
 // exits nonzero unless the suite's required benchmarks are present and
 // every recorded benchmark of the suite's family shows nonzero throughput
-// — the CI assertion that the measured paths actually moved requests.
+// — the CI assertion that the measured paths actually moved requests. The
+// net suite additionally asserts the pipelined replay did not regress
+// below the lock-step depth-1 baseline.
 package main
 
 import (
@@ -53,6 +57,8 @@ type Result struct {
 	ReqsPerSec float64 `json:"reqs_per_s,omitempty"`
 	BytesSec   float64 `json:"bytes_per_s,omitempty"`
 	HitPercent float64 `json:"hit_pct,omitempty"`
+	RttP50Us   float64 `json:"rtt_p50_us,omitempty"`
+	RttP99Us   float64 `json:"rtt_p99_us,omitempty"`
 	BytesPerOp float64 `json:"bytes_per_op"`
 	AllocsOp   float64 `json:"allocs_per_op"`
 }
@@ -71,10 +77,11 @@ type Record struct {
 // suite is one benchmark preset: what to run, where to record it, and
 // what -check demands of the record.
 type suite struct {
-	bench    string   // go test -bench regexp
-	out      string   // default output file
-	family   string   // name substring whose results must show nonzero reqs/s
-	required []string // benchmarks that must be present
+	bench    string                        // go test -bench regexp
+	out      string                        // default output file
+	family   string                        // name substring whose results must show nonzero reqs/s
+	required []string                      // benchmarks that must be present
+	verify   func(map[string]Result) error // extra suite-specific -check assertions
 }
 
 var suites = map[string]suite{
@@ -103,10 +110,31 @@ var suites = map[string]suite{
 			"BenchmarkGenScan", "BenchmarkGenPipeline",
 		},
 	},
+	"net": {
+		bench:  "^BenchmarkNet",
+		out:    "BENCH_net.json",
+		family: "Net",
+		required: []string{
+			"BenchmarkNetDepth1", "BenchmarkNetPipelined",
+		},
+		verify: func(rs map[string]Result) error {
+			d1, pl := rs["BenchmarkNetDepth1"], rs["BenchmarkNetPipelined"]
+			if pl.ReqsPerSec < d1.ReqsPerSec {
+				return fmt.Errorf("pipelined replay (%.0f reqs/s) is slower than the depth-1 baseline (%.0f reqs/s)",
+					pl.ReqsPerSec, d1.ReqsPerSec)
+			}
+			for _, n := range []string{"BenchmarkNetDepth1", "BenchmarkNetPipelined"} {
+				if r := rs[n]; r.RttP99Us <= 0 || r.RttP99Us < r.RttP50Us {
+					return fmt.Errorf("%s recorded batch RTT p50=%.1fus p99=%.1fus, want 0 < p50 <= p99", n, r.RttP50Us, r.RttP99Us)
+				}
+			}
+			return nil
+		},
+	},
 }
 
 func main() {
-	suiteName := flag.String("suite", "core", "benchmark preset: core|cluster|gen")
+	suiteName := flag.String("suite", "core", "benchmark preset: core|cluster|gen|net")
 	bench := flag.String("bench", "", "benchmark name regexp passed to go test -bench (default: the suite's)")
 	benchtime := flag.String("benchtime", "1s", "passed to go test -benchtime")
 	out := flag.String("o", "", "output file (default: the suite's)")
@@ -115,7 +143,7 @@ func main() {
 
 	s, ok := suites[*suiteName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "benchrecord: unknown suite %q (want core, cluster or gen)\n", *suiteName)
+		fmt.Fprintf(os.Stderr, "benchrecord: unknown suite %q (want core, cluster, gen or net)\n", *suiteName)
 		os.Exit(1)
 	}
 	if *bench == "" {
@@ -212,6 +240,10 @@ func parseLine(line string) (Result, bool) {
 			r.BytesSec = v
 		case "hit_%", "hit-%":
 			r.HitPercent = v
+		case "p50_us":
+			r.RttP50Us = v
+		case "p99_us":
+			r.RttP99Us = v
 		case "B/op":
 			r.BytesPerOp = v
 		case "allocs/op":
@@ -235,16 +267,21 @@ func checkRecord(path string, s suite) error {
 	if err := json.Unmarshal(data, &rec); err != nil {
 		return fmt.Errorf("%s: %w", path, err)
 	}
-	seen := map[string]bool{}
+	seen := map[string]Result{}
 	for _, r := range rec.Results {
-		seen[r.Name] = true
+		seen[r.Name] = r
 		if strings.Contains(r.Name, s.family) && r.ReqsPerSec <= 0 {
 			return fmt.Errorf("%s recorded %v reqs/s, want > 0", r.Name, r.ReqsPerSec)
 		}
 	}
 	for _, want := range s.required {
-		if !seen[want] {
+		if _, ok := seen[want]; !ok {
 			return fmt.Errorf("record is missing %s (the suite's required benchmarks must all be measured)", want)
+		}
+	}
+	if s.verify != nil {
+		if err := s.verify(seen); err != nil {
+			return err
 		}
 	}
 	return nil

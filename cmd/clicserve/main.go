@@ -83,6 +83,7 @@ func main() {
 		decay      = flag.Float64("r", 0, "CLIC: decay parameter r (0 = default 1.0)")
 		noutq      = flag.Int("noutq", 0, "CLIC: outqueue entries (0 = 5 per cache page)")
 		stats      = flag.String("stats", "partitioned", "statistics learning mode across shards (partitioned|global|merged)")
+		inflight   = flag.Int("max-inflight", 0, "pipelined batches in flight per connection before backpressure (0 = default)")
 		engineFlag = flag.String("engine", "mutex", "shard concurrency engine (mutex|owner)")
 		clusterOn  = flag.Bool("cluster", false, "exchange window summaries with -peers (implies -stats merged)")
 		peers      = flag.String("peers", "", "-cluster: comma-separated peer page-request addresses")
@@ -136,6 +137,7 @@ func main() {
 	scfg.Cache = core.Config{Capacity: sim.ClicCapacity(*cache), TopK: *topk, Window: *window, R: *decay,
 		Noutq: *noutq, Stats: statsMode, Engine: engineMode, LocalBias: *localBias}
 	scfg.Shards = *shards
+	scfg.MaxInflight = *inflight
 	srv := server.New(scfg)
 	if err := srv.Listen(*addr); err != nil {
 		fatal(err)

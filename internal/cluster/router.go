@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/netclient"
@@ -177,11 +178,148 @@ func (r *Router) Do(reqs []trace.Request) ([]bool, int, error) {
 	return r.hits, outq, nil
 }
 
+// RouterHandler consumes one completed pipelined router batch: tag is the
+// value given to Submit, isRead flags the positions that were reads and
+// hits carries the reassembled verdicts (both in submission order, valid
+// only during the call), outq is the cluster-wide outqueue depth summed
+// over the nodes that served a sub-batch, and rttNs is the batch's
+// submit-to-last-result round-trip time.
+type RouterHandler func(tag any, isRead, hits []bool, outq int, rttNs int64) error
+
+// routerBatch is one in-flight pipelined router batch: the reassembly
+// state waiting for its sub-batches to come back. Batches recycle through
+// the pipeline's free list, so the steady-state routed path allocates
+// nothing.
+type routerBatch struct {
+	pending int     // nodes still to answer
+	isRead  []bool  // submission order
+	hits    []bool  // submission order, scattered from the sub-results
+	index   [][]int // per-node submission indices
+	outq    int
+	tag     any
+	start   time.Time
+}
+
+// RouterPipeline keeps up to depth batches in flight per node connection:
+// every Submit splits its batch by ring owner and feeds the sub-batches
+// into per-node netclient.Pipelines, and a router batch is delivered to
+// the handler when its last sub-batch completes. Like the Router it is
+// not safe for concurrent use. Batches may complete slightly out of
+// submission order when they touch disjoint node sets; each node's
+// sub-batches always complete in order.
+type RouterPipeline struct {
+	r       *Router
+	pls     []*netclient.Pipeline
+	handler RouterHandler
+	split   [][]trace.Request // per-Submit scratch (sub-batches are encoded eagerly)
+	free    []*routerBatch
+}
+
+// Pipeline returns a pipelined sender over the router's node connections
+// with at most depth batches in flight per node (capped per node at the
+// server's advertised window; lock-step against pre-pipelining nodes).
+// Use Submit/Drain instead of Do; mixing them corrupts the streams.
+func (r *Router) Pipeline(depth int, h RouterHandler) *RouterPipeline {
+	rp := &RouterPipeline{
+		r:       r,
+		pls:     make([]*netclient.Pipeline, len(r.conns)),
+		handler: h,
+		split:   make([][]trace.Request, len(r.conns)),
+	}
+	for n := range r.conns {
+		n := n
+		rp.pls[n] = r.conns[n].Pipeline(depth, func(tag any, _ []bool, res wire.Results, _ int64) error {
+			rb := tag.(*routerBatch)
+			idx := rb.index[n]
+			for i, hit := range res.Hits {
+				rb.hits[idx[i]] = hit
+			}
+			rb.outq += res.OutqueueDepth
+			rb.pending--
+			if rb.pending > 0 {
+				return nil
+			}
+			err := rp.handler(rb.tag, rb.isRead, rb.hits, rb.outq, int64(time.Since(rb.start)))
+			rb.tag = nil
+			rp.free = append(rp.free, rb)
+			return err
+		})
+	}
+	return rp
+}
+
+// Submit routes one batch by ring owner and sends the sub-batches down
+// the per-node pipelines, completing older batches as node windows fill.
+// reqs is fully consumed before Submit returns; tag is handed back to the
+// handler with the batch's reassembled results.
+func (rp *RouterPipeline) Submit(reqs []trace.Request, tag any) error {
+	var rb *routerBatch
+	if k := len(rp.free); k > 0 {
+		rb, rp.free = rp.free[k-1], rp.free[:k-1]
+	} else {
+		rb = &routerBatch{index: make([][]int, len(rp.r.conns))}
+	}
+	for n := range rp.split {
+		rp.split[n] = rp.split[n][:0]
+		rb.index[n] = rb.index[n][:0]
+	}
+	rb.isRead = rb.isRead[:0]
+	if cap(rb.hits) < len(reqs) {
+		rb.hits = make([]bool, len(reqs))
+	}
+	rb.hits = rb.hits[:len(reqs)]
+	for i, req := range reqs {
+		n := rp.r.ring.Owner(req.Page)
+		rp.split[n] = append(rp.split[n], req)
+		rb.index[n] = append(rb.index[n], i)
+		rb.isRead = append(rb.isRead, req.Op == trace.Read)
+	}
+	rb.outq = 0
+	rb.tag = tag
+	rb.start = time.Now()
+	rb.pending = 0
+	for n := range rp.split {
+		if len(rp.split[n]) > 0 {
+			rb.pending++
+		}
+	}
+	if rb.pending == 0 {
+		err := rp.handler(tag, rb.isRead, rb.hits, 0, 0)
+		rb.tag = nil
+		rp.free = append(rp.free, rb)
+		return err
+	}
+	for n := range rp.split {
+		if len(rp.split[n]) == 0 {
+			continue
+		}
+		if err := rp.pls[n].Submit(rp.split[n], rb); err != nil {
+			return fmt.Errorf("cluster: node %s: %w", rp.r.ring.Name(n), err)
+		}
+	}
+	return nil
+}
+
+// Drain flushes and completes every in-flight batch on every node.
+func (rp *RouterPipeline) Drain() error {
+	for n, pl := range rp.pls {
+		if err := pl.Drain(); err != nil {
+			return fmt.Errorf("cluster: node %s: %w", rp.r.ring.Name(n), err)
+		}
+	}
+	return nil
+}
+
 // ReplayOptions tune the cluster replay drivers.
 type ReplayOptions struct {
-	// BatchSize is the request count per router batch; 0 selects
-	// wire.DefaultBatch.
+	// BatchSize is the request count per router batch; 0 selects adaptive
+	// sizing (netclient.BatchSizer: start small, grow toward
+	// wire.DefaultBatch while the per-request round-trip tail stays flat).
 	BatchSize int
+	// Depth is the in-flight batch window per node connection: 0 selects
+	// netclient.DefaultDepth, 1 is lock-step. Values above a node's
+	// advertised window are capped at that node's handshake.
+	Depth int
 	// Limit caps the total number of requests replayed; 0 replays the
 	// whole trace.
 	Limit int
@@ -196,6 +334,13 @@ func (o ReplayOptions) batch() int {
 	return o.BatchSize
 }
 
+func (o ReplayOptions) depth() int {
+	if o.Depth <= 0 {
+		return netclient.DefaultDepth
+	}
+	return o.Depth
+}
+
 // Replay replays an in-memory trace against a cluster with one concurrent
 // Router per trace client — netclient.Replay generalised from one server
 // to N. Per-client read accounting is exact; like every concurrent replay,
@@ -206,7 +351,6 @@ func Replay(nodes []Node, t *trace.Trace, opt ReplayOptions) (sim.Result, error)
 		t = t.Truncate(opt.Limit)
 	}
 	keys := t.Dict.Keys()
-	batch := opt.batch()
 	var (
 		mu        sync.Mutex
 		policy    string
@@ -227,26 +371,30 @@ func Replay(nodes []Node, t *trace.Trace, opt ReplayOptions) (sim.Result, error)
 			policy, capacity, haveLabel = router.PolicyName(), router.Capacity(), true
 		}
 		mu.Unlock()
-		for len(reqs) > 0 {
-			n := batch
-			if n > len(reqs) {
-				n = len(reqs)
-			}
-			hits, _, err := router.Do(reqs[:n])
-			if err != nil {
-				return err
-			}
-			for i, r := range reqs[:n] {
-				if r.Op == trace.Read {
+		sizer := netclient.NewBatchSizer(opt.BatchSize)
+		pl := router.Pipeline(opt.depth(), func(_ any, isRead, hits []bool, _ int, rttNs int64) error {
+			for i, rd := range isRead {
+				if rd {
 					st.Reads++
 					if hits[i] {
 						st.ReadHits++
 					}
 				}
 			}
+			sizer.Observe(rttNs, len(isRead))
+			return nil
+		})
+		for len(reqs) > 0 {
+			n := sizer.Current()
+			if n > len(reqs) {
+				n = len(reqs)
+			}
+			if err := pl.Submit(reqs[:n], nil); err != nil {
+				return err
+			}
 			reqs = reqs[n:]
 		}
-		return nil
+		return pl.Drain()
 	})
 	if err != nil {
 		return sim.Result{}, err

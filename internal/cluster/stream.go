@@ -3,8 +3,10 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/hint"
+	"repro/internal/netclient"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -55,6 +57,9 @@ func ReplayIterator(nodes []Node, it trace.Iterator, opt ReplayOptions) (sim.Res
 		free    chan []trace.Request
 		pending []trace.Request
 		st      *sim.ClientStat
+		// size is the worker's current adaptive batch size, read by the
+		// dispatcher to decide batch boundaries.
+		size atomic.Int64
 	}
 	var (
 		log       keyLog
@@ -66,7 +71,6 @@ func ReplayIterator(nodes []Node, it trace.Iterator, opt ReplayOptions) (sim.Res
 		policy    string
 		capacity  int
 		haveLabel bool
-		batch     = opt.batch()
 		total     uint64
 		dictLen   int
 	)
@@ -90,9 +94,12 @@ func ReplayIterator(nodes []Node, it trace.Iterator, opt ReplayOptions) (sim.Res
 			free: make(chan []trace.Request, 8),
 			st:   &sim.ClientStat{Name: name},
 		}
+		sizer := netclient.NewBatchSizer(opt.BatchSize)
+		w.size.Store(int64(sizer.Current()))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var pl *RouterPipeline
 			router, err := DialRouter(nodes, opt.VirtualNodes)
 			if err != nil {
 				fail(err)
@@ -108,6 +115,19 @@ func ReplayIterator(nodes []Node, it trace.Iterator, opt ReplayOptions) (sim.Res
 						policy, capacity, haveLabel = router.PolicyName(), router.Capacity(), true
 					}
 					mu.Unlock()
+					pl = router.Pipeline(opt.depth(), func(_ any, isRead, hits []bool, _ int, rttNs int64) error {
+						for i, rd := range isRead {
+							if rd {
+								w.st.Reads++
+								if hits[i] {
+									w.st.ReadHits++
+								}
+							}
+						}
+						sizer.Observe(rttNs, len(isRead))
+						w.size.Store(int64(sizer.Current()))
+						return nil
+					})
 				}
 			}
 			send := func(reqs []trace.Request) error {
@@ -116,19 +136,7 @@ func ReplayIterator(nodes []Node, it trace.Iterator, opt ReplayOptions) (sim.Res
 						return err
 					}
 				}
-				hits, _, err := router.Do(reqs)
-				if err != nil {
-					return err
-				}
-				for i, r := range reqs {
-					if r.Op == trace.Read {
-						w.st.Reads++
-						if hits[i] {
-							w.st.ReadHits++
-						}
-					}
-				}
-				return nil
+				return pl.Submit(reqs, nil)
 			}
 			for reqs := range w.ch {
 				// On failure keep draining so the dispatcher never blocks.
@@ -140,6 +148,11 @@ func ReplayIterator(nodes []Node, it trace.Iterator, opt ReplayOptions) (sim.Res
 				select {
 				case w.free <- reqs[:0]:
 				default:
+				}
+			}
+			if pl != nil && !failed() {
+				if err := pl.Drain(); err != nil {
+					fail(err)
 				}
 			}
 		}()
@@ -171,7 +184,7 @@ func ReplayIterator(nodes []Node, it trace.Iterator, opt ReplayOptions) (sim.Res
 		}
 		w := workers[c]
 		w.pending = append(w.pending, r)
-		if len(w.pending) >= batch {
+		if len(w.pending) >= int(w.size.Load()) {
 			w.ch <- w.pending
 			select {
 			case w.pending = <-w.free:

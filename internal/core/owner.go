@@ -151,6 +151,11 @@ type Producer struct {
 	frames []*frame
 	rings  []*spscRing
 	wg     sync.WaitGroup
+
+	// Streamed-batch state (Begin/Add/Commit): the scatter target and the
+	// number of requests added so far.
+	hits []bool
+	n    int
 }
 
 // NewProducer returns a producer handle for this front. Producers are
@@ -248,6 +253,90 @@ func (p *Producer) AccessBatch(reqs []trace.Request, hits []bool) {
 		f.idx = f.idx[:0]
 		f.hits = nil
 	}
+}
+
+// Begin opens a streamed batch: requests fed one at a time with Add
+// accumulate into the per-shard frames and run when Commit is called,
+// each request's hit/miss landing in hits at its Add position. The
+// streamed triple is AccessBatch for callers that produce requests
+// incrementally — a wire decoder can route each request into its shard
+// frame as it comes off the buffer, skipping the intermediate request
+// slice entirely. hits must have room for every Add before Commit.
+func (p *Producer) Begin(hits []bool) {
+	p.hits = hits
+	p.n = 0
+}
+
+// Add appends one request to the open streamed batch. In mutex mode the
+// request runs immediately; in owner mode it is routed into its shard's
+// frame and runs at Commit.
+func (p *Producer) Add(r trace.Request) {
+	if p.n >= len(p.hits) {
+		panic("core: Add past the end of the Begin hits slice")
+	}
+	if p.s.engine != EngineOwner {
+		p.hits[p.n] = p.s.Access(r)
+		p.n++
+		return
+	}
+	var f *frame
+	if len(p.frames) == 1 {
+		f = p.frames[0]
+	} else {
+		f = p.frames[p.s.ShardFor(r.Page)]
+	}
+	f.reqs = append(f.reqs, r)
+	f.idx = append(f.idx, int32(p.n))
+	p.n++
+}
+
+// Commit runs the open streamed batch and waits for every request's
+// result to land in the Begin hits slice. It returns the number of
+// requests the batch carried.
+func (p *Producer) Commit() int {
+	n := p.n
+	if p.s.engine != EngineOwner {
+		p.hits, p.n = nil, 0
+		return n
+	}
+	posted := 0
+	for _, f := range p.frames {
+		if len(f.reqs) > 0 {
+			f.hits = p.hits
+			posted++
+		}
+	}
+	p.wg.Add(posted)
+	for sh, f := range p.frames {
+		if len(f.reqs) > 0 {
+			p.post(sh, f)
+		}
+	}
+	p.wg.Wait()
+	p.reset()
+	return n
+}
+
+// Abort drops the open streamed batch without running it. (In mutex mode
+// Add runs requests eagerly, so already-added requests have been applied;
+// Abort is for tearing down a connection whose frame went bad mid-decode,
+// where partial application is moot.)
+func (p *Producer) Abort() {
+	if p.s.engine == EngineOwner {
+		p.reset()
+		return
+	}
+	p.hits, p.n = nil, 0
+}
+
+// reset clears the streamed-batch and frame state after Commit or Abort.
+func (p *Producer) reset() {
+	for _, f := range p.frames {
+		f.reqs = f.reqs[:0]
+		f.idx = f.idx[:0]
+		f.hits = nil
+	}
+	p.hits, p.n = nil, 0
 }
 
 // appendSeq appends 0..n-1 to dst.

@@ -17,7 +17,9 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -215,11 +217,265 @@ func (c *Conn) SendSummary(s wire.Summary) error {
 	return c.bw.Flush()
 }
 
+// PipelineHandler consumes one completed pipelined batch: tag is the
+// value given to Submit, isRead flags the positions that were reads (in
+// batch order), res carries the server's verdicts (valid only during the
+// call), and rttNs is the batch's submit-to-result round-trip time.
+type PipelineHandler func(tag any, isRead []bool, res wire.Results, rttNs int64) error
+
+// pbatch is one in-flight pipelined batch: what the handler needs when
+// its results arrive. Request payloads are not retained — Submit encodes
+// them into the write buffer immediately, so callers may reuse their
+// request slices the moment Submit returns.
+type pbatch struct {
+	seq    uint64
+	tag    any
+	isRead []bool
+	start  time.Time
+}
+
+// Pipeline keeps up to depth batches in flight on one connection,
+// overlapping the request stream with the server's responses instead of
+// stalling a full round trip per batch. Results arrive in sequence order
+// (TCP preserves frame order and the server answers in order); each is
+// delivered to the handler as it completes. Against a server that
+// negotiated below wire.PipelineVersion the pipeline degrades to
+// lock-step (depth 1, untagged frames), so every caller works unchanged
+// against v2 peers. Not safe for concurrent use, like Conn.
+type Pipeline struct {
+	c       *Conn
+	depth   int
+	handler PipelineHandler
+
+	seq       uint64
+	ring      []*pbatch // FIFO of in-flight batches
+	head, n   int
+	free      []*pbatch
+	unflushed bool
+}
+
+// Pipeline returns a pipelined sender over the connection with at most
+// depth batches in flight (min 1; capped at the server's advertised
+// window, and forced to 1 when the negotiated protocol predates
+// pipelining). Use Submit/Drain instead of Do; mixing them corrupts the
+// stream.
+func (c *Conn) Pipeline(depth int, h PipelineHandler) *Pipeline {
+	if depth < 1 {
+		depth = 1
+	}
+	if c.version >= wire.PipelineVersion {
+		if w := c.ack.Window; w > 0 && depth > w {
+			depth = w
+		}
+	} else {
+		depth = 1
+	}
+	return &Pipeline{c: c, depth: depth, handler: h, ring: make([]*pbatch, depth)}
+}
+
+// Depth returns the effective in-flight window after server capping.
+func (p *Pipeline) Depth() int { return p.depth }
+
+// Submit encodes and sends one batch, completing the oldest in-flight
+// batch first when the window is full. reqs is fully consumed before
+// Submit returns; tag is handed back to the handler with the batch's
+// results. Writes are buffered — the wire sees them when the window
+// forces a read, or at Drain — so a stream of small batches coalesces
+// into few syscalls.
+func (p *Pipeline) Submit(reqs []trace.Request, tag any) error {
+	if p.n == p.depth {
+		if err := p.completeOne(); err != nil {
+			return err
+		}
+	}
+	var b *pbatch
+	if k := len(p.free); k > 0 {
+		b, p.free = p.free[k-1], p.free[:k-1]
+	} else {
+		b = &pbatch{}
+	}
+	b.tag = tag
+	b.start = time.Now()
+	b.isRead = b.isRead[:0]
+	for i := range reqs {
+		b.isRead = append(b.isRead, reqs[i].Op == trace.Read)
+	}
+	if p.c.version >= wire.PipelineVersion {
+		b.seq = p.seq
+		p.seq++
+		p.c.enc = wire.AppendBatchSeq(p.c.enc[:0], b.seq, reqs)
+	} else {
+		p.c.enc = wire.AppendBatch(p.c.enc[:0], reqs)
+	}
+	if err := wire.WriteFrame(p.c.bw, p.c.enc); err != nil {
+		return err
+	}
+	p.unflushed = true
+	p.ring[(p.head+p.n)%p.depth] = b
+	p.n++
+	return nil
+}
+
+// Inflight returns the number of batches awaiting results.
+func (p *Pipeline) Inflight() int { return p.n }
+
+// completeOne flushes any buffered writes (the server cannot answer
+// frames it has not received) and consumes the oldest in-flight batch's
+// results.
+func (p *Pipeline) completeOne() error {
+	if p.unflushed {
+		if err := p.c.bw.Flush(); err != nil {
+			return err
+		}
+		p.unflushed = false
+	}
+	b := p.ring[p.head]
+	payload, err := p.c.readFrame()
+	if err != nil {
+		return err
+	}
+	var res wire.Results
+	if p.c.version >= wire.PipelineVersion {
+		seq, r, err := wire.DecodeResultsSeq(payload, p.c.res)
+		if err != nil {
+			return err
+		}
+		if seq != b.seq {
+			return fmt.Errorf("netclient: results for sequence %d, want %d (pipelined results must arrive in order)", seq, b.seq)
+		}
+		res = r
+	} else {
+		res, err = wire.DecodeResults(payload, p.c.res)
+		if err != nil {
+			return err
+		}
+	}
+	p.c.res = res
+	if len(res.Hits) != len(b.isRead) {
+		return fmt.Errorf("netclient: %d results for %d requests", len(res.Hits), len(b.isRead))
+	}
+	rtt := time.Since(b.start)
+	batchRTT.Observe(uint64(rtt))
+	batchesTotal.Inc()
+	p.ring[p.head] = nil
+	p.head = (p.head + 1) % p.depth
+	p.n--
+	err = p.handler(b.tag, b.isRead, res, int64(rtt))
+	b.tag = nil
+	p.free = append(p.free, b)
+	return err
+}
+
+// Drain flushes and completes every in-flight batch.
+func (p *Pipeline) Drain() error {
+	for p.n > 0 {
+		if err := p.completeOne(); err != nil {
+			return err
+		}
+	}
+	if p.unflushed {
+		if err := p.c.bw.Flush(); err != nil {
+			return err
+		}
+		p.unflushed = false
+	}
+	return nil
+}
+
+// DefaultDepth is the in-flight batch window replay drivers use when
+// ReplayOptions.Depth is zero: deep enough to hide a loopback round trip
+// behind the server's service time, shallow enough that per-connection
+// buffering stays small.
+const DefaultDepth = 8
+
+// adaptiveStartBatch is where adaptive batch sizing begins; it doubles
+// from here toward wire.DefaultBatch.
+const adaptiveStartBatch = 64
+
+// adaptiveSlack is how much the per-request latency may exceed the best
+// observed before the sizer stops growing the batch.
+const adaptiveSlack = 1.25
+
+// BatchSizer grows the per-frame request count toward the
+// wire.DefaultBatch sweet spot while the observed per-request round-trip
+// latency stays flat: after a sample window of batches at the current
+// size, it doubles the size if the window's median per-request RTT is
+// within adaptiveSlack of the best window median seen; a degraded window
+// holds the size instead. One settle window is discarded after start and
+// after every growth, so the pipeline-fill transient (early batches see
+// no queueing and would make every steady-state window look degraded)
+// and the first batches at a new size never enter the comparison. The
+// replay drivers here and in internal/cluster feed it from their result
+// handlers; an explicit fixed size pins it and disables adaptation. Not
+// safe for concurrent use.
+type BatchSizer struct {
+	size   int
+	fixed  bool
+	sample [8]float64 // per-request RTTs of the current window, ns
+	sn     int
+	settle int // batches to discard before sampling resumes
+	best   float64
+}
+
+// NewBatchSizer returns a sizer pinned at fixed when fixed > 0, adaptive
+// otherwise.
+func NewBatchSizer(fixed int) *BatchSizer {
+	if fixed > 0 {
+		return &BatchSizer{size: fixed, fixed: true}
+	}
+	s := &BatchSizer{size: adaptiveStartBatch}
+	s.settle = len(s.sample)
+	return s
+}
+
+// Current returns the batch size to use for the next frame.
+func (s *BatchSizer) Current() int { return s.size }
+
+// Observe records one completed batch's round trip (n requests in
+// rttNs nanoseconds).
+func (s *BatchSizer) Observe(rttNs int64, n int) {
+	if s.fixed || s.size >= wire.DefaultBatch || n == 0 {
+		return
+	}
+	if s.settle > 0 {
+		s.settle--
+		return
+	}
+	s.sample[s.sn] = float64(rttNs) / float64(n)
+	s.sn++
+	if s.sn < len(s.sample) {
+		return
+	}
+	s.sn = 0
+	// Median of the window: robust against the occasional batch that
+	// lands behind a window rotation or a scheduler hiccup.
+	var sorted [8]float64
+	copy(sorted[:], s.sample[:])
+	sort.Float64s(sorted[:])
+	med := sorted[len(sorted)/2]
+	if s.best == 0 || med < s.best {
+		s.best = med
+	}
+	if med <= s.best*adaptiveSlack {
+		s.size *= 2
+		if s.size > wire.DefaultBatch {
+			s.size = wire.DefaultBatch
+		}
+		s.settle = len(s.sample)
+	}
+}
+
 // ReplayOptions tune the replay drivers.
 type ReplayOptions struct {
-	// BatchSize is the request count per Batch frame; 0 selects
-	// wire.DefaultBatch.
+	// BatchSize is the request count per Batch frame; 0 selects adaptive
+	// sizing (start at adaptiveStartBatch, grow toward wire.DefaultBatch
+	// while the per-request round-trip tail stays flat).
 	BatchSize int
+	// Depth is the in-flight batch window per connection: 0 selects
+	// DefaultDepth, 1 is lock-step (one round trip per batch, the v2
+	// behaviour). Values above the server's advertised window are capped
+	// at the handshake.
+	Depth int
 	// Limit caps the total number of requests replayed; 0 replays the
 	// whole trace.
 	Limit int
@@ -232,6 +488,13 @@ func (o ReplayOptions) batch() int {
 	return o.BatchSize
 }
 
+func (o ReplayOptions) depth() int {
+	if o.Depth <= 0 {
+		return DefaultDepth
+	}
+	return o.Depth
+}
+
 // policyName mirrors core.Sharded.Name from the handshake, so loopback
 // results label themselves like the in-process path.
 func policyName(ack wire.HelloAck) string {
@@ -241,9 +504,9 @@ func policyName(ack wire.HelloAck) string {
 	return fmt.Sprintf("CLIC/%d", ack.Shards)
 }
 
-// runClient replays one client's request stream over one connection,
-// counting read hits from the responses.
-func runClient(addr, name string, keys []string, reqs []trace.Request, batch int, st *sim.ClientStat) (wire.HelloAck, error) {
+// runClient replays one client's request stream over one pipelined
+// connection, counting read hits from the responses.
+func runClient(addr, name string, keys []string, reqs []trace.Request, opt ReplayOptions, st *sim.ClientStat) (wire.HelloAck, error) {
 	conn, err := Dial(addr)
 	if err != nil {
 		return wire.HelloAck{}, err
@@ -253,26 +516,30 @@ func runClient(addr, name string, keys []string, reqs []trace.Request, batch int
 	if err != nil {
 		return wire.HelloAck{}, err
 	}
-	for len(reqs) > 0 {
-		n := batch
-		if n > len(reqs) {
-			n = len(reqs)
-		}
-		res, err := conn.Do(reqs[:n])
-		if err != nil {
-			return ack, err
-		}
-		for i, r := range reqs[:n] {
-			if r.Op == trace.Read {
+	sizer := NewBatchSizer(opt.BatchSize)
+	pl := conn.Pipeline(opt.depth(), func(_ any, isRead []bool, res wire.Results, rttNs int64) error {
+		for i, rd := range isRead {
+			if rd {
 				st.Reads++
 				if res.Hits[i] {
 					st.ReadHits++
 				}
 			}
 		}
+		sizer.Observe(rttNs, len(isRead))
+		return nil
+	})
+	for len(reqs) > 0 {
+		n := sizer.Current()
+		if n > len(reqs) {
+			n = len(reqs)
+		}
+		if err := pl.Submit(reqs[:n], nil); err != nil {
+			return ack, err
+		}
 		reqs = reqs[n:]
 	}
-	return ack, nil
+	return ack, pl.Drain()
 }
 
 // Replay replays an in-memory trace against the server at addr with one
@@ -290,7 +557,7 @@ func Replay(addr string, t *trace.Trace, opt ReplayOptions) (sim.Result, error) 
 		ack wire.HelloAck
 	)
 	res, err := engine.ServeStreams(t, func(c int, reqs []trace.Request, st *sim.ClientStat) error {
-		a, err := runClient(addr, t.Clients[c], keys, reqs, opt.batch(), st)
+		a, err := runClient(addr, t.Clients[c], keys, reqs, opt, st)
 		if a != (wire.HelloAck{}) {
 			mu.Lock()
 			ack = a
@@ -361,14 +628,19 @@ func ReplaySource(addr string, src trace.Source, opt ReplayOptions) (sim.Result,
 func ReplayIterator(addr string, sc trace.Iterator, opt ReplayOptions) (sim.Result, error) {
 	// Batch buffers cycle between the dispatcher and each worker: the
 	// dispatcher fills one from the scan, hands it over on ch, and the
-	// worker returns it on free once the server has answered. After a few
-	// batches per client the replay reuses the same handful of buffers —
-	// the steady-state dispatch path allocates nothing.
+	// worker returns it on free once the batch is encoded onto the wire
+	// (the pipeline does not retain request payloads). After a few batches
+	// per client the replay reuses the same handful of buffers — the
+	// steady-state dispatch path allocates nothing.
 	type worker struct {
 		ch      chan []trace.Request
 		free    chan []trace.Request
 		pending []trace.Request
 		st      *sim.ClientStat
+		// size is the worker's current adaptive batch size, read by the
+		// dispatcher to decide batch boundaries and stored by the worker's
+		// result handler as its sizer grows.
+		size atomic.Int64
 	}
 	var (
 		log     keyLog
@@ -377,7 +649,6 @@ func ReplayIterator(addr string, sc trace.Iterator, opt ReplayOptions) (sim.Resu
 		mu      sync.Mutex
 		first   error
 		ack     wire.HelloAck
-		batch   = opt.batch()
 		stats   []*sim.ClientStat
 		total   uint64
 		dictLen int
@@ -402,9 +673,12 @@ func ReplayIterator(addr string, sc trace.Iterator, opt ReplayOptions) (sim.Resu
 			free: make(chan []trace.Request, 8),
 			st:   &sim.ClientStat{Name: name},
 		}
+		sizer := NewBatchSizer(opt.BatchSize)
+		w.size.Store(int64(sizer.Current()))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var pl *Pipeline
 			conn, err := Dial(addr)
 			if err != nil {
 				fail(err)
@@ -418,6 +692,19 @@ func ReplayIterator(addr string, sc trace.Iterator, opt ReplayOptions) (sim.Resu
 					mu.Lock()
 					ack = a
 					mu.Unlock()
+					pl = conn.Pipeline(opt.depth(), func(_ any, isRead []bool, res wire.Results, rttNs int64) error {
+						for i, rd := range isRead {
+							if rd {
+								w.st.Reads++
+								if res.Hits[i] {
+									w.st.ReadHits++
+								}
+							}
+						}
+						sizer.Observe(rttNs, len(isRead))
+						w.size.Store(int64(sizer.Current()))
+						return nil
+					})
 				}
 			}
 			send := func(reqs []trace.Request) error {
@@ -426,19 +713,7 @@ func ReplayIterator(addr string, sc trace.Iterator, opt ReplayOptions) (sim.Resu
 						return err
 					}
 				}
-				res, err := conn.Do(reqs)
-				if err != nil {
-					return err
-				}
-				for i, r := range reqs {
-					if r.Op == trace.Read {
-						w.st.Reads++
-						if res.Hits[i] {
-							w.st.ReadHits++
-						}
-					}
-				}
-				return nil
+				return pl.Submit(reqs, nil)
 			}
 			for reqs := range w.ch {
 				// On failure keep draining so the dispatcher never blocks.
@@ -450,6 +725,11 @@ func ReplayIterator(addr string, sc trace.Iterator, opt ReplayOptions) (sim.Resu
 				select {
 				case w.free <- reqs[:0]:
 				default:
+				}
+			}
+			if pl != nil && !failed() {
+				if err := pl.Drain(); err != nil {
+					fail(err)
 				}
 			}
 		}()
@@ -485,7 +765,7 @@ func ReplayIterator(addr string, sc trace.Iterator, opt ReplayOptions) (sim.Resu
 		}
 		w := workers[c]
 		w.pending = append(w.pending, r)
-		if len(w.pending) >= batch {
+		if len(w.pending) >= int(w.size.Load()) {
 			w.ch <- w.pending
 			select {
 			case w.pending = <-w.free:

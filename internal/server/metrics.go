@@ -70,6 +70,10 @@ func (s *Server) buildRegistry() {
 		func() float64 { return float64(s.connsTotal.Value()) })
 	r.CounterFunc("clic_server_batches_total", "Request batches served.",
 		func() float64 { return float64(s.batchesTotal.Value()) })
+	r.GaugeFunc("clic_server_inflight_batches", "Pipelined batches accepted but not yet answered, all connections.",
+		func() float64 { return float64(s.inflight.Value()) })
+	r.CounterFunc("clic_server_flushes_total", "Writer buffer flushes (batches per flush is the write-coalescing factor).",
+		func() float64 { return float64(s.flushes.Value()) })
 	r.RegisterHistogram("clic_server_batch_ns", "Batch service time (decode to response write) in nanoseconds.", &s.batchNs)
 
 	// Cluster merged-learning series, present only in merged statistics

@@ -233,7 +233,7 @@ func TestSnapshotSchema(t *testing.T) {
 	check("shards[0]", shardsArr[0], []string{
 		"reads", "read_hits", "writes", "evictions", "len", "outqueue_len", "windows",
 	})
-	check("connections", doc["connections"], []string{"active", "total"})
+	check("connections", doc["connections"], []string{"active", "total", "inflight"})
 	check("histograms", doc["histograms"], []string{"batchServiceNs", "batches"})
 	var hists struct {
 		BatchServiceNs json.RawMessage `json:"batchServiceNs"`

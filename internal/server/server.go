@@ -61,6 +61,12 @@ type Config struct {
 	// that keeps a misbehaving client from growing server memory without
 	// bound. The paper's workloads carry tens of distinct hint sets.
 	MaxHintKeys int
+	// MaxInflight bounds how many pipelined batches one connection may
+	// keep in flight (decoded but not yet answered); 0 selects
+	// DefaultMaxInflight. Advertised to v3+ clients in HelloAck.Window.
+	// When the window is full the connection's reader stops reading, so
+	// backpressure propagates to the client through TCP.
+	MaxInflight int
 	// Node names this server in the window summaries it publishes to
 	// cluster peers (wire.Summary.Node); empty selects "node".
 	// Meaningful only with Cache.Stats == core.StatsMerged.
@@ -79,6 +85,13 @@ type Config struct {
 // intern unbounded state into the shared dictionary.
 const DefaultMaxHintKeys = 1 << 20
 
+// DefaultMaxInflight is the per-connection pipelining window when
+// Config.MaxInflight is zero: deep enough that a client streaming
+// DefaultBatch-sized frames never stalls on the window before the cache
+// becomes the bottleneck, small enough to bound per-connection memory
+// (each in-flight batch holds one result slot).
+const DefaultMaxInflight = 32
+
 // clientTotals is the merged read accounting for one client name across all
 // of its (past and present) connections.
 type clientTotals struct {
@@ -91,6 +104,7 @@ type clientTotals struct {
 type Server struct {
 	cache       *core.Sharded
 	maxHintKeys int
+	maxInflight int
 	node        string
 	onSummary   func(wire.Summary)
 
@@ -111,6 +125,12 @@ type Server struct {
 	batchesTotal metrics.Counter
 	batchNs      metrics.Histogram
 
+	// inflight gauges pipelined batches accepted but not yet answered,
+	// summed over all connections; flushes counts writer-side buffer
+	// flushes (batches ÷ flushes is the write-coalescing factor).
+	inflight metrics.Gauge
+	flushes  metrics.Counter
+
 	// summariesPublished counts windows published to the cluster exchanger
 	// (merged mode with OnSummary wired; the absorbed side lives on the
 	// merged learner).
@@ -129,6 +149,10 @@ func New(cfg Config) *Server {
 	if maxKeys <= 0 {
 		maxKeys = DefaultMaxHintKeys
 	}
+	maxInflight := cfg.MaxInflight
+	if maxInflight <= 0 {
+		maxInflight = DefaultMaxInflight
+	}
 	node := cfg.Node
 	if node == "" {
 		node = "node"
@@ -136,6 +160,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cache:       core.NewSharded(cfg.Cache, shards),
 		maxHintKeys: maxKeys,
+		maxInflight: maxInflight,
 		node:        node,
 		onSummary:   cfg.OnSummary,
 		dict:        hint.NewDict(),
@@ -361,7 +386,67 @@ func (s *Server) mergeClient(name string, reads, readHits uint64) {
 	ct.readHits += readHits
 }
 
-// handle runs one connection's request loop.
+// resultSlot carries one served batch (or a terminal error report) from a
+// connection's reader to its writer. Slots circulate between the free list
+// and the result queue, so the steady-state pipeline allocates nothing.
+type resultSlot struct {
+	seq    uint64 // BatchSeq sequence number (tagged frames only)
+	tagged bool   // answer with ResultsSeq instead of Results
+	hits   []bool // per-request verdicts, reused batch after batch
+	isRead []bool // which positions were reads, for client accounting
+	outq   int    // outqueue depth sampled after the batch
+	start  time.Time
+	errMsg string // non-empty: write an Error frame; the connection is done
+}
+
+// batchState is the per-connection decode state shared by the streaming
+// decode callbacks. The callbacks close over one batchState for the whole
+// connection — never over per-batch variables — so the steady-state batch
+// loop creates no closures.
+type batchState struct {
+	prod  *core.Producer
+	remap []hint.ID
+	slot  *resultSlot
+	err   error // sticky decode-side failure (bad hint index)
+}
+
+// begin is the DecodeBatchStream size callback: size the slot's result
+// buffers and open the producer's streamed batch.
+func (st *batchState) begin(n int) error {
+	if cap(st.slot.hits) < n {
+		st.slot.hits = make([]bool, n)
+		st.slot.isRead = make([]bool, n)
+	}
+	st.slot.hits = st.slot.hits[:n]
+	st.slot.isRead = st.slot.isRead[:n]
+	st.prod.Begin(st.slot.hits)
+	return nil
+}
+
+// emit is the DecodeBatchStream per-request callback: remap the
+// connection-local hint index to a server-wide ID and route the request
+// straight into its owner-shard frame — no intermediate request slice.
+func (st *batchState) emit(i int, r trace.Request) error {
+	if int(r.Hint) >= len(st.remap) {
+		st.err = fmt.Errorf("hint index %d not announced (table has %d)", r.Hint, len(st.remap))
+		return st.err
+	}
+	r.Hint = st.remap[r.Hint]
+	st.slot.isRead[i] = r.Op == trace.Read
+	st.prod.Add(r)
+	return nil
+}
+
+// handle runs one connection: handshake, then a reader loop feeding the
+// cache and a writer goroutine draining completed results. The reader
+// decodes each batch straight into the producer's shard frames, runs it,
+// and hands the filled result slot to the writer; the writer encodes and
+// writes results in arrival order (which is sequence order — TCP keeps
+// frames ordered and the reader serves them in order) and flushes only
+// when its queue goes empty, coalescing many results into one syscall
+// under pipelined load. The slot channel caps the in-flight window: a full
+// window blocks the reader, which stops reading, which backpressures the
+// client through TCP.
 func (s *Server) handle(conn net.Conn) {
 	s.connsTotal.Inc()
 	s.connsActive.Add(1)
@@ -375,7 +460,8 @@ func (s *Server) handle(conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	bw := bufio.NewWriterSize(conn, 1<<16)
 
-	fail := func(msg string) {
+	// Handshake failures are reported inline: the writer does not exist yet.
+	failNow := func(msg string) {
 		// Best-effort error report; the connection is going away either way.
 		if err := wire.WriteFrame(bw, wire.AppendError(nil, msg)); err == nil {
 			bw.Flush()
@@ -388,7 +474,7 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	hello, err := wire.DecodeHello(payload)
 	if err != nil {
-		fail(err.Error())
+		failNow(err.Error())
 		return
 	}
 	// Negotiate down to the client's version when it is older; refuse
@@ -396,19 +482,20 @@ func (s *Server) handle(conn net.Conn) {
 	// negotiated version.
 	ver, err := wire.Negotiate(hello.Version)
 	if err != nil {
-		fail(fmt.Sprintf("unsupported protocol version %d (server speaks %d, accepts %d and up)",
+		failNow(fmt.Sprintf("unsupported protocol version %d (server speaks %d, accepts %d and up)",
 			hello.Version, wire.Version, wire.MinVersion))
 		return
 	}
 	if len(hello.Keys) > s.maxHintKeys {
-		fail(fmt.Sprintf("hint vocabulary %d exceeds limit %d", len(hello.Keys), s.maxHintKeys))
+		failNow(fmt.Sprintf("hint vocabulary %d exceeds limit %d", len(hello.Keys), s.maxHintKeys))
 		return
 	}
-	remap := s.intern(nil, hello.Keys)
+	st := &batchState{remap: s.intern(nil, hello.Keys)}
 	ack := wire.AppendHelloAck(nil, wire.HelloAck{
 		Version:  ver,
 		Shards:   s.cache.Shards(),
 		Capacity: s.cache.Capacity(),
+		Window:   s.maxInflight,
 	})
 	if err := wire.WriteFrame(bw, ack); err != nil {
 		return
@@ -417,19 +504,38 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 
-	// Each connection drives the front through its own producer handle:
-	// in owner mode the decoded batch fans out to the shard owners as
-	// frames, in mutex mode AccessBatch degenerates to the per-request
-	// loop. All batch state (reqs, hits, out, the producer's frames) is
-	// connection-owned and reused, so the steady-state request path —
-	// decode, access, encode — allocates nothing.
-	prod := s.cache.NewProducer()
-	defer prod.Close()
-	var (
-		reqs []trace.Request
-		hits []bool
-		out  []byte
-	)
+	// Each connection drives the front through its own producer handle: in
+	// owner mode the decoded batch fans out to the shard owners as frames,
+	// in mutex mode the streamed adds degenerate to per-request accesses.
+	// All batch state (the slots, the producer's frames, the writer's
+	// encode buffer) is connection-owned and recycled.
+	st.prod = s.cache.NewProducer()
+	defer st.prod.Close()
+
+	results := make(chan *resultSlot, s.maxInflight)
+	free := make(chan *resultSlot, s.maxInflight)
+	for i := 0; i < s.maxInflight; i++ {
+		free <- &resultSlot{}
+	}
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		s.writeLoop(conn, bw, results, free)
+	}()
+	defer func() {
+		close(results)
+		<-writerDone
+	}()
+
+	// fail routes a terminal error through the writer so it lands after
+	// every already-queued result, keeping the stream well-formed from the
+	// client's point of view.
+	fail := func(msg string) {
+		slot := <-free
+		slot.errMsg = msg
+		results <- slot
+	}
+
 	for {
 		payload, err = wire.ReadFrame(br, payload)
 		if err != nil {
@@ -447,37 +553,38 @@ func (s *Server) handle(conn net.Conn) {
 				fail(err.Error())
 				return
 			}
-			if len(remap)+len(keys) > s.maxHintKeys {
-				fail(fmt.Sprintf("hint vocabulary %d exceeds limit %d", len(remap)+len(keys), s.maxHintKeys))
+			if len(st.remap)+len(keys) > s.maxHintKeys {
+				fail(fmt.Sprintf("hint vocabulary %d exceeds limit %d", len(st.remap)+len(keys), s.maxHintKeys))
 				return
 			}
-			remap = s.intern(remap, keys)
-		case wire.TypeBatch:
+			st.remap = s.intern(st.remap, keys)
+		case wire.TypeBatch, wire.TypeBatchSeq:
+			if t == wire.TypeBatchSeq && ver < wire.PipelineVersion {
+				fail(fmt.Sprintf("pipelined batches need protocol %d, connection negotiated %d", wire.PipelineVersion, ver))
+				return
+			}
 			batchStart := time.Now()
-			reqs, err = wire.DecodeBatch(payload, reqs)
+			// Blocking here is the in-flight window: no free slot until the
+			// writer retires one.
+			slot := <-free
+			slot.start = batchStart
+			st.slot = slot
+			seq, tagged, err := wire.DecodeBatchStream(payload, st.begin, st.emit)
 			if err != nil {
+				st.prod.Abort()
+				free <- slot
+				if st.err != nil {
+					err = st.err
+				}
 				fail(err.Error())
 				return
 			}
-			if cap(hits) < len(reqs) {
-				hits = make([]bool, len(reqs))
-			}
-			hits = hits[:len(reqs)]
-			// Remap the connection-local hint indices to server-wide IDs in
-			// place, then run the whole batch through the producer.
-			for i := range reqs {
-				if int(reqs[i].Hint) >= len(remap) {
-					fail(fmt.Sprintf("hint index %d not announced (table has %d)", reqs[i].Hint, len(remap)))
-					return
-				}
-				reqs[i].Hint = remap[reqs[i].Hint]
-			}
-			prod.AccessBatch(reqs, hits)
+			st.prod.Commit()
 			var reads, readHits uint64
-			for i := range reqs {
-				if reqs[i].Op == trace.Read {
+			for i, hit := range slot.hits {
+				if slot.isRead[i] {
 					reads++
-					if hits[i] {
+					if hit {
 						readHits++
 					}
 				}
@@ -487,21 +594,10 @@ func (s *Server) handle(conn net.Conn) {
 			// reflects them: Snapshot sums equal client-side accounting
 			// the moment a replay returns.
 			s.mergeClient(hello.Client, reads, readHits)
-			out = wire.AppendResults(out[:0], wire.Results{
-				Hits:          hits,
-				OutqueueDepth: s.cache.OutqueueLen(),
-			})
-			if err := wire.WriteFrame(bw, out); err != nil {
-				return
-			}
-			if err := bw.Flush(); err != nil {
-				return
-			}
-			// Batch service time spans decode through response flush — the
-			// server-side share of the client's observed RTT. Two atomic
-			// bumps; the loop stays allocation-free.
-			s.batchNs.Observe(uint64(time.Since(batchStart)))
-			s.batchesTotal.Inc()
+			slot.seq, slot.tagged = seq, tagged
+			slot.outq = s.cache.OutqueueLen()
+			s.inflight.Add(1)
+			results <- slot
 		case wire.TypeSummary:
 			// Reject cleanly on connections that negotiated a pre-summary
 			// protocol: the peer learns why instead of desyncing.
@@ -521,6 +617,59 @@ func (s *Server) handle(conn net.Conn) {
 		default:
 			fail(fmt.Sprintf("unexpected frame type %d", t))
 			return
+		}
+	}
+}
+
+// writeLoop is a connection's writer goroutine: encode and write each
+// result slot in queue order, flush when the queue goes empty (one flush
+// per serve cycle, not per frame), recycle the slot. On a write error it
+// closes the connection — unblocking the reader — and keeps draining so
+// the reader never blocks on a full queue.
+func (s *Server) writeLoop(conn net.Conn, bw *bufio.Writer, results, free chan *resultSlot) {
+	var out []byte
+	var res wire.Results
+	broken := false
+	for slot := range results {
+		if slot.errMsg != "" {
+			// Terminal: report after everything already queued, best-effort.
+			if !broken {
+				if err := wire.WriteFrame(bw, wire.AppendError(out[:0], slot.errMsg)); err == nil {
+					bw.Flush()
+				}
+				broken = true
+			}
+			slot.errMsg = ""
+			free <- slot
+			continue
+		}
+		if broken {
+			s.inflight.Add(-1)
+			free <- slot
+			continue
+		}
+		res.Hits, res.OutqueueDepth = slot.hits, slot.outq
+		if slot.tagged {
+			out = wire.AppendResultsSeq(out[:0], slot.seq, res)
+		} else {
+			out = wire.AppendResults(out[:0], res)
+		}
+		err := wire.WriteFrame(bw, out)
+		if err == nil && len(results) == 0 {
+			if err = bw.Flush(); err == nil {
+				s.flushes.Inc()
+			}
+		}
+		// Batch service time spans decode through response write — the
+		// server-side share of the client's observed RTT.
+		s.batchNs.Observe(uint64(time.Since(slot.start)))
+		s.batchesTotal.Inc()
+		s.inflight.Add(-1)
+		res.Hits = nil
+		free <- slot
+		if err != nil {
+			broken = true
+			conn.Close()
 		}
 	}
 }
@@ -581,6 +730,9 @@ type ClusterSnapshot struct {
 type ConnectionsSnapshot struct {
 	Active int64  `json:"active"`
 	Total  uint64 `json:"total"`
+	// Inflight is the number of pipelined batches accepted but not yet
+	// answered, summed over all connections.
+	Inflight int64 `json:"inflight"`
 }
 
 // HistogramsSnapshot carries cumulative histogram summaries: the server's
@@ -602,8 +754,9 @@ func (s *Server) Snapshot(topHints int) Snapshot {
 		Policy: s.cache.Name(),
 		Core:   s.cache.Stats(),
 		Connections: ConnectionsSnapshot{
-			Active: s.connsActive.Value(),
-			Total:  s.connsTotal.Value(),
+			Active:   s.connsActive.Value(),
+			Total:    s.connsTotal.Value(),
+			Inflight: s.inflight.Value(),
 		},
 		Histograms: HistogramsSnapshot{
 			BatchServiceNs: s.batchNs.Summary(),

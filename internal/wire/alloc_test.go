@@ -86,3 +86,63 @@ func TestRoundTripAllocs(t *testing.T) {
 		t.Errorf("wire round trip allocates %v allocs per batch in steady state, want 0", avg)
 	}
 }
+
+// TestSeqRoundTripAllocs pins the same zero-allocation contract for the
+// pipelined v3 frames: sequence-tagged encode, streaming decode straight
+// into a preallocated slice, and the tagged results direction.
+func TestSeqRoundTripAllocs(t *testing.T) {
+	reqs := make([]trace.Request, DefaultBatch)
+	for i := range reqs {
+		op := trace.Read
+		if i%7 == 0 {
+			op = trace.Write
+		}
+		reqs[i] = trace.Request{Page: uint64(i * 13), Hint: hint.ID(i % 32), Op: op}
+	}
+	hits := make([]bool, DefaultBatch)
+
+	var (
+		enc     []byte
+		payload []byte
+		res     Results
+		seq     uint64
+		buf     bytes.Buffer
+	)
+	dec := make([]trace.Request, DefaultBatch)
+	bw := bufio.NewWriterSize(&buf, 1<<16)
+	br := bufio.NewReaderSize(&buf, 1<<16)
+	// Hoisted callbacks: method-value captures here would allocate per call.
+	begin := func(n int) error { dec = dec[:n]; return nil }
+	emit := func(i int, r trace.Request) error { dec[i] = r; return nil }
+	roundTrip := func() {
+		seq++
+		enc = AppendBatchSeq(enc[:0], seq, reqs)
+		buf.Reset()
+		bw.Reset(&buf)
+		if err := WriteFrame(bw, enc); err != nil {
+			t.Fatal(err)
+		}
+		bw.Flush()
+		br.Reset(&buf)
+		p, err := ReadFrame(br, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload = p
+		gotSeq, tagged, err := DecodeBatchStream(p, begin, emit)
+		if err != nil || !tagged || gotSeq != seq {
+			t.Fatalf("stream decode: seq=%d tagged=%v err=%v", gotSeq, tagged, err)
+		}
+
+		enc = AppendResultsSeq(enc[:0], seq, Results{Hits: hits, OutqueueDepth: 42})
+		gotSeq, r, err := DecodeResultsSeq(enc, res)
+		if err != nil || gotSeq != seq {
+			t.Fatalf("results decode: seq=%d err=%v", gotSeq, err)
+		}
+		res = r
+	}
+	roundTrip()
+	if avg := testing.AllocsPerRun(200, roundTrip); avg != 0 {
+		t.Errorf("seq wire round trip allocates %v allocs per batch in steady state, want 0", avg)
+	}
+}

@@ -30,6 +30,12 @@
 //	                          hint-statistics window, the exchange
 //	                          currency of cluster-wide merged learning
 //	                          (internal/cluster)
+//	BatchSeq (client→server)  sequence number (uvarint), then the Batch
+//	                          body — a Batch tagged so several may be in
+//	                          flight on one connection (v3+)
+//	ResultsSeq (server→client) sequence number (uvarint), then the Results
+//	                          body — answers the BatchSeq with the same
+//	                          sequence number (v3+)
 //
 // The client ID is implicit: one connection is one client. Page numbers are
 // delta-encoded within each batch because clients issue runs of sequential
@@ -51,6 +57,22 @@
 // clusters upgrade one node at a time. Hint-set keys travel as canonical
 // strings in Summary frames because hint IDs are per-node interning
 // orders and mean nothing across processes.
+//
+// # Pipelining (v2 → v3)
+//
+// Version 3 adds sequence-tagged batches. A v2 connection runs in
+// lock-step — one Batch, one Results, full round trip before the next —
+// so loopback throughput is bounded by per-batch RTT. From
+// PipelineVersion on, a client may instead send BatchSeq frames, each
+// tagged with a monotonically increasing sequence number, and keep up to
+// the server's advertised window (HelloAck.Window, v3+) of batches in
+// flight. The server answers every BatchSeq with a ResultsSeq carrying
+// the same sequence number, always in ascending sequence order (TCP
+// preserves it; a client seeing an unexpected sequence number must treat
+// the connection as broken). Plain Batch/Results frames remain valid on
+// a v3 connection, so a lock-step client needs no changes, and a v3
+// client talking to a v2 server falls back to lock-step after
+// negotiation caps the version.
 package wire
 
 import (
@@ -101,8 +123,9 @@ func uvarintLen(n uint64) uint64 {
 }
 
 // Version is the newest protocol version this codec speaks, offered in
-// Hello and capped in HelloAck. Version 2 added Summary frames.
-const Version = 2
+// Hello and capped in HelloAck. Version 2 added Summary frames; version 3
+// added sequence-tagged pipelined batches (BatchSeq/ResultsSeq).
+const Version = 3
 
 // MinVersion is the oldest peer version still accepted; anything older is
 // refused at the handshake.
@@ -111,6 +134,12 @@ const MinVersion = 1
 // SummaryVersion is the first protocol version that defines Summary
 // frames. Connections negotiated below it must reject TypeSummary cleanly.
 const SummaryVersion = 2
+
+// PipelineVersion is the first protocol version that defines
+// BatchSeq/ResultsSeq frames and the HelloAck Window field. Connections
+// negotiated below it run in lock-step and must reject TypeBatchSeq
+// cleanly.
+const PipelineVersion = 3
 
 // Negotiate returns the protocol version to speak with a peer that
 // announced peerVersion: the newer side caps itself at the older side's
@@ -137,13 +166,15 @@ const DefaultBatch = 512
 
 // Frame types (the first payload byte).
 const (
-	TypeHello    byte = 1
-	TypeHelloAck byte = 2
-	TypeIntern   byte = 3
-	TypeBatch    byte = 4
-	TypeResults  byte = 5
-	TypeError    byte = 6
-	TypeSummary  byte = 7
+	TypeHello      byte = 1
+	TypeHelloAck   byte = 2
+	TypeIntern     byte = 3
+	TypeBatch      byte = 4
+	TypeResults    byte = 5
+	TypeError      byte = 6
+	TypeSummary    byte = 7
+	TypeBatchSeq   byte = 8
+	TypeResultsSeq byte = 9
 )
 
 // Hello opens a connection: the client names itself and announces the hint
@@ -159,6 +190,10 @@ type HelloAck struct {
 	Version  int
 	Shards   int
 	Capacity int
+	// Window is the largest number of batches the server lets one
+	// connection keep in flight (v3+; zero when negotiated below
+	// PipelineVersion).
+	Window int
 }
 
 // Summary carries one node's rotated hint-statistics window: the raw
@@ -386,12 +421,17 @@ func DecodeHello(p []byte) (Hello, error) {
 	return h, d.done()
 }
 
-// AppendHelloAck encodes a HelloAck payload.
+// AppendHelloAck encodes a HelloAck payload. The Window field exists only
+// from PipelineVersion on, so it is encoded exactly when a.Version says
+// the negotiated protocol defines it.
 func AppendHelloAck(dst []byte, a HelloAck) []byte {
 	dst = append(dst, TypeHelloAck)
 	dst = binary.AppendUvarint(dst, uint64(a.Version))
 	dst = binary.AppendUvarint(dst, uint64(a.Shards))
 	dst = binary.AppendUvarint(dst, uint64(a.Capacity))
+	if a.Version >= PipelineVersion {
+		dst = binary.AppendUvarint(dst, uint64(a.Window))
+	}
 	return dst
 }
 
@@ -408,6 +448,13 @@ func DecodeHelloAck(p []byte) (HelloAck, error) {
 			return HelloAck{}, err
 		}
 		*f = int(v)
+	}
+	if a.Version >= PipelineVersion {
+		v, err := d.uvarint()
+		if err != nil {
+			return HelloAck{}, err
+		}
+		a.Window = int(v)
 	}
 	return a, d.done()
 }
@@ -435,10 +482,9 @@ func DecodeIntern(p []byte) ([]string, error) {
 	return keys, d.done()
 }
 
-// AppendBatch encodes a Batch payload. Request Client fields are ignored:
-// the connection identifies the client.
-func AppendBatch(dst []byte, reqs []trace.Request) []byte {
-	dst = append(dst, TypeBatch)
+// appendBatchBody encodes the shared Batch/BatchSeq body: request count,
+// then per request the flags byte, delta-encoded page and hint ID.
+func appendBatchBody(dst []byte, reqs []trace.Request) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(reqs)))
 	prev := uint64(0)
 	for _, r := range reqs {
@@ -454,6 +500,80 @@ func AppendBatch(dst []byte, reqs []trace.Request) []byte {
 	return dst
 }
 
+// AppendBatch encodes a Batch payload. Request Client fields are ignored:
+// the connection identifies the client.
+func AppendBatch(dst []byte, reqs []trace.Request) []byte {
+	dst = append(dst, TypeBatch)
+	return appendBatchBody(dst, reqs)
+}
+
+// AppendBatchSeq encodes a sequence-tagged BatchSeq payload (v3+).
+func AppendBatchSeq(dst []byte, seq uint64, reqs []trace.Request) []byte {
+	dst = append(dst, TypeBatchSeq)
+	dst = binary.AppendUvarint(dst, seq)
+	return appendBatchBody(dst, reqs)
+}
+
+// decodeBatchRequest decodes one request record of a batch body, carrying
+// the running page value in *prev.
+func (d *decoder) batchRequest(prev *int64) (trace.Request, error) {
+	flags, err := d.byte()
+	if err != nil {
+		return trace.Request{}, err
+	}
+	delta, err := d.varint()
+	if err != nil {
+		return trace.Request{}, err
+	}
+	*prev += delta
+	h, err := d.uvarint()
+	if err != nil {
+		return trace.Request{}, err
+	}
+	if h > uint64(^hint.ID(0)) {
+		return trace.Request{}, fmt.Errorf("wire: hint ID %d overflows", h)
+	}
+	op := trace.Read
+	if flags&1 != 0 {
+		op = trace.Write
+	}
+	return trace.Request{Page: uint64(*prev), Hint: hint.ID(h), Op: op}, nil
+}
+
+// batchCount decodes and bounds-checks a batch body's request count.
+func (d *decoder) batchCount() (uint64, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return 0, err
+	}
+	// A record is at least 3 bytes (flags + delta + hint).
+	if n > uint64(len(d.p))/3+1 {
+		return 0, fmt.Errorf("wire: batch of %d requests overruns frame", n)
+	}
+	return n, nil
+}
+
+// decodeBatchBody decodes the shared Batch/BatchSeq body into dst.
+func (d *decoder) decodeBatchBody(dst []trace.Request) ([]trace.Request, error) {
+	n, err := d.batchCount()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(cap(dst)) < n {
+		dst = make([]trace.Request, n)
+	}
+	dst = dst[:n]
+	prev := int64(0)
+	for i := range dst {
+		r, err := d.batchRequest(&prev)
+		if err != nil {
+			return nil, err
+		}
+		dst[i] = r
+	}
+	return dst, d.done()
+}
+
 // DecodeBatch decodes a Batch payload into dst (reused when large enough).
 // Decoded requests carry Client 0; the receiver attributes them to the
 // connection's client.
@@ -462,48 +582,71 @@ func DecodeBatch(p []byte, dst []trace.Request) ([]trace.Request, error) {
 	if err != nil {
 		return nil, err
 	}
-	n, err := d.uvarint()
-	if err != nil {
-		return nil, err
-	}
-	// A record is at least 3 bytes (flags + delta + hint).
-	if n > uint64(len(p))/3+1 {
-		return nil, fmt.Errorf("wire: batch of %d requests overruns frame", n)
-	}
-	if uint64(cap(dst)) < n {
-		dst = make([]trace.Request, n)
-	}
-	dst = dst[:n]
-	prev := int64(0)
-	for i := range dst {
-		flags, err := d.byte()
-		if err != nil {
-			return nil, err
-		}
-		delta, err := d.varint()
-		if err != nil {
-			return nil, err
-		}
-		prev += delta
-		h, err := d.uvarint()
-		if err != nil {
-			return nil, err
-		}
-		if h > uint64(^hint.ID(0)) {
-			return nil, fmt.Errorf("wire: hint ID %d overflows", h)
-		}
-		op := trace.Read
-		if flags&1 != 0 {
-			op = trace.Write
-		}
-		dst[i] = trace.Request{Page: uint64(prev), Hint: hint.ID(h), Op: op}
-	}
-	return dst, d.done()
+	return d.decodeBatchBody(dst)
 }
 
-// AppendResults encodes a Results payload.
-func AppendResults(dst []byte, r Results) []byte {
-	dst = append(dst, TypeResults)
+// DecodeBatchSeq decodes a BatchSeq payload into dst, returning the frame's
+// sequence number alongside the requests.
+func DecodeBatchSeq(p []byte, dst []trace.Request) (uint64, []trace.Request, error) {
+	d, err := expect(p, TypeBatchSeq)
+	if err != nil {
+		return 0, nil, err
+	}
+	seq, err := d.uvarint()
+	if err != nil {
+		return 0, nil, err
+	}
+	reqs, err := d.decodeBatchBody(dst)
+	return seq, reqs, err
+}
+
+// DecodeBatchStream decodes a Batch or BatchSeq payload without
+// materialising a request slice: begin is called once with the request
+// count, then emit once per decoded request, in batch order. Either
+// callback may stop the decode by returning an error (propagated
+// unwrapped). tagged reports whether the frame carried a sequence number
+// (BatchSeq); seq is zero for plain Batch frames. This is the zero-copy
+// server path — requests stream straight from the wire buffer into the
+// owner-shard producer frames.
+func DecodeBatchStream(p []byte, begin func(n int) error, emit func(i int, r trace.Request) error) (seq uint64, tagged bool, err error) {
+	t, err := PayloadType(p)
+	if err != nil {
+		return 0, false, err
+	}
+	d := decoder{p: p, off: 1}
+	switch t {
+	case TypeBatch:
+	case TypeBatchSeq:
+		tagged = true
+		if seq, err = d.uvarint(); err != nil {
+			return 0, true, err
+		}
+	default:
+		return 0, false, fmt.Errorf("wire: frame type %d, want %d or %d", t, TypeBatch, TypeBatchSeq)
+	}
+	n, err := d.batchCount()
+	if err != nil {
+		return seq, tagged, err
+	}
+	if err := begin(int(n)); err != nil {
+		return seq, tagged, err
+	}
+	prev := int64(0)
+	for i := 0; i < int(n); i++ {
+		r, err := d.batchRequest(&prev)
+		if err != nil {
+			return seq, tagged, err
+		}
+		if err := emit(i, r); err != nil {
+			return seq, tagged, err
+		}
+	}
+	return seq, tagged, d.done()
+}
+
+// appendResultsBody encodes the shared Results/ResultsSeq body: count,
+// outqueue depth, then the LSB-first hit bitmap.
+func appendResultsBody(dst []byte, r Results) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(r.Hits)))
 	dst = binary.AppendUvarint(dst, uint64(r.OutqueueDepth))
 	var cur byte
@@ -522,13 +665,23 @@ func AppendResults(dst []byte, r Results) []byte {
 	return dst
 }
 
-// DecodeResults decodes a Results payload, reusing dst.Hits when large
-// enough.
-func DecodeResults(p []byte, dst Results) (Results, error) {
-	d, err := expect(p, TypeResults)
-	if err != nil {
-		return Results{}, err
-	}
+// AppendResults encodes a Results payload.
+func AppendResults(dst []byte, r Results) []byte {
+	dst = append(dst, TypeResults)
+	return appendResultsBody(dst, r)
+}
+
+// AppendResultsSeq encodes a sequence-tagged ResultsSeq payload (v3+),
+// answering the BatchSeq frame with the same sequence number.
+func AppendResultsSeq(dst []byte, seq uint64, r Results) []byte {
+	dst = append(dst, TypeResultsSeq)
+	dst = binary.AppendUvarint(dst, seq)
+	return appendResultsBody(dst, r)
+}
+
+// decodeResultsBody decodes the shared Results/ResultsSeq body, reusing
+// dst.Hits when large enough.
+func (d *decoder) decodeResultsBody(dst Results) (Results, error) {
 	n, err := d.uvarint()
 	if err != nil {
 		return Results{}, err
@@ -538,18 +691,43 @@ func DecodeResults(p []byte, dst Results) (Results, error) {
 		return Results{}, err
 	}
 	words := (n + 7) / 8
-	if uint64(len(p)-d.off) != words {
-		return Results{}, fmt.Errorf("wire: results bitmap has %d bytes, want %d", len(p)-d.off, words)
+	if uint64(len(d.p)-d.off) != words {
+		return Results{}, fmt.Errorf("wire: results bitmap has %d bytes, want %d", len(d.p)-d.off, words)
 	}
 	if uint64(cap(dst.Hits)) < n {
 		dst.Hits = make([]bool, n)
 	}
 	dst.Hits = dst.Hits[:n]
 	for i := range dst.Hits {
-		dst.Hits[i] = p[d.off+i/8]&(1<<(i%8)) != 0
+		dst.Hits[i] = d.p[d.off+i/8]&(1<<(i%8)) != 0
 	}
 	dst.OutqueueDepth = int(depth)
 	return dst, nil
+}
+
+// DecodeResults decodes a Results payload, reusing dst.Hits when large
+// enough.
+func DecodeResults(p []byte, dst Results) (Results, error) {
+	d, err := expect(p, TypeResults)
+	if err != nil {
+		return Results{}, err
+	}
+	return d.decodeResultsBody(dst)
+}
+
+// DecodeResultsSeq decodes a ResultsSeq payload, returning the frame's
+// sequence number alongside the results.
+func DecodeResultsSeq(p []byte, dst Results) (uint64, Results, error) {
+	d, err := expect(p, TypeResultsSeq)
+	if err != nil {
+		return 0, Results{}, err
+	}
+	seq, err := d.uvarint()
+	if err != nil {
+		return 0, Results{}, err
+	}
+	res, err := d.decodeResultsBody(dst)
+	return seq, res, err
 }
 
 // AppendSummary encodes a Summary payload.

@@ -372,3 +372,178 @@ func FuzzDecodeResults(f *testing.F) {
 		}
 	})
 }
+
+// TestHelloAckWindow pins the conditional Window encoding: a v3 ack
+// carries its pipeline window, a v2 ack omits the field entirely so old
+// decoders keep working byte for byte.
+func TestHelloAckWindow(t *testing.T) {
+	v3 := HelloAck{Version: Version, Shards: 8, Capacity: 18000, Window: 32}
+	got, err := DecodeHelloAck(AppendHelloAck(nil, v3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v3 {
+		t.Errorf("v3 round trip: got %+v, want %+v", got, v3)
+	}
+	v2 := HelloAck{Version: PipelineVersion - 1, Shards: 8, Capacity: 18000, Window: 32}
+	p2 := AppendHelloAck(nil, v2)
+	got2, err := DecodeHelloAck(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2.Window != 0 {
+		t.Errorf("v2 ack carried a window (%d); the field is v3-only", got2.Window)
+	}
+	if len(p2) >= len(AppendHelloAck(nil, v3)) {
+		t.Error("v2 ack is not shorter than the v3 ack — Window leaked into old frames")
+	}
+}
+
+// TestBatchSeqRoundTrip covers the sequence-tagged batch frame, both via
+// the slice decoder and the streaming decoder.
+func TestBatchSeqRoundTrip(t *testing.T) {
+	reqs := []trace.Request{
+		{Page: 100, Hint: 1, Op: trace.Read},
+		{Page: 5, Hint: 2, Op: trace.Write},
+		{Page: math.MaxUint64, Hint: math.MaxUint32, Op: trace.Read},
+	}
+	for _, seq := range []uint64{0, 1, 511, math.MaxUint64} {
+		p := AppendBatchSeq(nil, seq, reqs)
+		gotSeq, got, err := DecodeBatchSeq(p, nil)
+		if err != nil {
+			t.Fatalf("seq=%d: %v", seq, err)
+		}
+		if gotSeq != seq || len(got) != len(reqs) {
+			t.Fatalf("seq=%d: got seq=%d n=%d", seq, gotSeq, len(got))
+		}
+		for i, r := range reqs {
+			r.Client = 0
+			if got[i] != r {
+				t.Errorf("request %d = %+v, want %+v", i, got[i], r)
+			}
+		}
+		// Streaming decoder sees the same frame.
+		var streamed []trace.Request
+		sSeq, tagged, err := DecodeBatchStream(p,
+			func(n int) error { streamed = make([]trace.Request, 0, n); return nil },
+			func(i int, r trace.Request) error { streamed = append(streamed, r); return nil })
+		if err != nil || !tagged || sSeq != seq {
+			t.Fatalf("stream seq=%d: seq=%d tagged=%v err=%v", seq, sSeq, tagged, err)
+		}
+		if !reflect.DeepEqual(streamed, got) {
+			t.Errorf("stream decoded %+v, want %+v", streamed, got)
+		}
+	}
+}
+
+// TestDecodeBatchStreamUntagged checks the streaming decoder accepts a
+// plain v2 Batch frame and reports it untagged, and rejects non-batch
+// frames.
+func TestDecodeBatchStreamUntagged(t *testing.T) {
+	reqs := []trace.Request{{Page: 7}, {Page: 8, Op: trace.Write}}
+	var n int
+	seq, tagged, err := DecodeBatchStream(AppendBatch(nil, reqs),
+		func(c int) error { n = c; return nil },
+		func(int, trace.Request) error { return nil })
+	if err != nil || tagged || seq != 0 || n != len(reqs) {
+		t.Fatalf("untagged: seq=%d tagged=%v n=%d err=%v", seq, tagged, n, err)
+	}
+	if _, _, err := DecodeBatchStream(AppendResults(nil, Results{}), nil, nil); err == nil {
+		t.Error("DecodeBatchStream accepted a Results frame")
+	}
+}
+
+// TestDecodeBatchStreamCallbackError checks callback errors abort the
+// decode and come back unwrapped.
+func TestDecodeBatchStreamCallbackError(t *testing.T) {
+	p := AppendBatchSeq(nil, 3, []trace.Request{{Page: 1}, {Page: 2}})
+	sentinel := io.ErrUnexpectedEOF
+	if _, _, err := DecodeBatchStream(p, func(int) error { return sentinel }, nil); err != sentinel {
+		t.Errorf("begin error: got %v, want sentinel", err)
+	}
+	calls := 0
+	_, _, err := DecodeBatchStream(p,
+		func(int) error { return nil },
+		func(int, trace.Request) error { calls++; return sentinel })
+	if err != sentinel || calls != 1 {
+		t.Errorf("emit error: got %v after %d calls, want sentinel after 1", err, calls)
+	}
+}
+
+// TestBatchSeqRejectsGarbage checks truncation and trailing bytes fail
+// cleanly for both sequence-tagged frames, through both decoders.
+func TestBatchSeqRejectsGarbage(t *testing.T) {
+	b := AppendBatchSeq(nil, 9, []trace.Request{{Page: 3, Hint: 1}, {Page: 1, Op: trace.Write}})
+	for cut := 1; cut < len(b); cut++ {
+		if _, _, err := DecodeBatchSeq(b[:cut], nil); err == nil {
+			t.Errorf("DecodeBatchSeq accepted a frame truncated at %d", cut)
+		}
+		if _, _, err := DecodeBatchStream(b[:cut], func(int) error { return nil },
+			func(int, trace.Request) error { return nil }); err == nil {
+			t.Errorf("DecodeBatchStream accepted a frame truncated at %d", cut)
+		}
+	}
+	if _, _, err := DecodeBatchSeq(append(b[:len(b):len(b)], 0), nil); err == nil {
+		t.Error("DecodeBatchSeq accepted trailing bytes")
+	}
+	r := AppendResultsSeq(nil, 9, Results{Hits: []bool{true, false, true}, OutqueueDepth: 4})
+	for cut := 1; cut < len(r); cut++ {
+		if _, _, err := DecodeResultsSeq(r[:cut], Results{}); err == nil {
+			t.Errorf("DecodeResultsSeq accepted a frame truncated at %d", cut)
+		}
+	}
+	if _, _, err := DecodeResultsSeq(append(r[:len(r):len(r)], 0), Results{}); err == nil {
+		t.Error("DecodeResultsSeq accepted trailing bytes")
+	}
+	if _, _, err := DecodeResultsSeq(AppendResults(nil, Results{}), Results{}); err == nil {
+		t.Error("DecodeResultsSeq accepted an untagged Results frame")
+	}
+	if _, _, err := DecodeBatchSeq(AppendBatch(nil, nil), nil); err == nil {
+		t.Error("DecodeBatchSeq accepted an untagged Batch frame")
+	}
+}
+
+// FuzzDecodeBatchSeq extends the batch fuzz target to the sequence-tagged
+// frame header.
+func FuzzDecodeBatchSeq(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendBatchSeq(nil, 5, []trace.Request{{Page: 1, Hint: 2}, {Page: 100, Op: trace.Write}}))
+	f.Add([]byte{TypeBatchSeq, 7, 3, 0, 2, 0})
+	f.Fuzz(func(t *testing.T, p []byte) {
+		seq, reqs, err := DecodeBatchSeq(p, nil)
+		if err != nil {
+			return
+		}
+		seq2, out, err := DecodeBatchSeq(AppendBatchSeq(nil, seq, reqs), nil)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if seq2 != seq || len(out) != len(reqs) {
+			t.Fatalf("round trip changed: seq %d->%d, n %d->%d", seq, seq2, len(reqs), len(out))
+		}
+		for i := range reqs {
+			if out[i] != reqs[i] {
+				t.Fatalf("request %d changed: %+v -> %+v", i, reqs[i], out[i])
+			}
+		}
+	})
+}
+
+// FuzzDecodeResultsSeq does the same for sequence-tagged results.
+func FuzzDecodeResultsSeq(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(AppendResultsSeq(nil, 12, Results{Hits: []bool{true, false, true}, OutqueueDepth: 9}))
+	f.Fuzz(func(t *testing.T, p []byte) {
+		seq, r, err := DecodeResultsSeq(p, Results{})
+		if err != nil {
+			return
+		}
+		seq2, got, err := DecodeResultsSeq(AppendResultsSeq(nil, seq, r), Results{})
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if seq2 != seq || got.OutqueueDepth != r.OutqueueDepth || len(got.Hits) != len(r.Hits) {
+			t.Fatalf("round trip changed: %+v -> %+v", r, got)
+		}
+	})
+}
